@@ -1,0 +1,16 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures at the
+``quick`` preset and asserts the result *shape* the paper reports (who
+wins, roughly by how much).  Simulation benchmarks run a single round:
+the interesting number is the regenerated table, not the harness's own
+wall time.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1,
+                              warmup_rounds=0)

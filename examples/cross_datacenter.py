@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Cross-datacenter RDMA without PFC headroom (paper §2.1 + Fig 15).
+
+PFC needs switch buffer for a full RTT of in-flight data per lossless
+queue — Table 1 shows commodity ASICs top out at a few km.  DCP keeps
+the fabric lossy, so distance only costs latency, not buffer.  This
+example runs the same transfer over increasing leaf-spine distances and
+contrasts DCP (normal buffers) with the PFC/GBN baseline, which needs
+its buffers inflated to stay lossless.
+
+Run:  python examples/cross_datacenter.py
+"""
+
+from repro.analysis.fct import goodput_gbps
+from repro.experiments.common import build_network
+from repro.sim.units import fiber_delay_ns
+
+FLOW_BYTES = 2_000_000
+DISTANCES_KM = (1, 20, 100)
+
+
+def run_one(scheme: str, km: float, buffer_bytes: int) -> tuple[float, int]:
+    delay = fiber_delay_ns(km)
+    net = build_network(
+        transport=scheme, lb="ar" if scheme == "dcp" else "ecmp",
+        topology="clos", num_hosts=8, num_leaves=2, num_spines=2,
+        link_rate=10.0, spine_link_delay_ns=delay, seed=17,
+        buffer_bytes=buffer_bytes)
+    flow = net.open_flow(0, 7, FLOW_BYTES, 0)
+    net.run_until_flows_done(max_events=30_000_000)
+    if not flow.completed:
+        return 0.0, buffer_bytes
+    return goodput_gbps(flow), buffer_bytes
+
+
+def main() -> None:
+    print(f"one {FLOW_BYTES // 1_000_000} MB inter-DC transfer, "
+          f"10 Gbps links\n")
+    print(f"{'km':>5} {'RTT':>9} | {'DCP goodput':>12} {'buffer':>8} | "
+          f"{'PFC goodput':>12} {'buffer':>8}")
+    for km in DISTANCES_KM:
+        rtt_us = 2 * (fiber_delay_ns(km) * 2 + 2_000) / 1000
+        dcp_g, dcp_buf = run_one("dcp", km, buffer_bytes=2_000_000)
+        # PFC headroom must cover the spine-link BDP (Eq. 1's constraint):
+        headroom = int(3 * 10.0 / 8 * fiber_delay_ns(km)) + 2_000_000
+        pfc_g, pfc_buf = run_one("gbn", km, buffer_bytes=headroom)
+        print(f"{km:>5} {rtt_us:>7.0f}us | {dcp_g:>10.2f}G "
+              f"{dcp_buf / 1e6:>7.1f}M | {pfc_g:>10.2f}G "
+              f"{pfc_buf / 1e6:>7.1f}M")
+
+    print("\nDCP's buffer requirement is flat with distance; PFC's "
+          "headroom grows with the\nBDP — the Table 1 scaling wall.  "
+          "(Goodput dips at long range are window/BDP\nratio effects, "
+          "not losses: check flow.stats.timeouts == 0.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Time-series sampling of simulator state (queue depths, rates).
+
+Used by the deep-dive analyses (e.g. watching the control queue absorb
+an incast burst) and handy when debugging congestion behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class Series:
+    """One sampled signal."""
+
+    name: str
+    times_ns: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, t: int, v: float) -> None:
+        self.times_ns.append(t)
+        self.values.append(v)
+
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def last(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    def integral(self) -> float:
+        """Trapezoidal integral of value x time (e.g. byte-time product)."""
+        total = 0.0
+        for i in range(1, len(self.times_ns)):
+            dt = self.times_ns[i] - self.times_ns[i - 1]
+            total += dt * (self.values[i] + self.values[i - 1]) / 2
+        return total
+
+
+class Sampler:
+    """Periodically samples callables into named :class:`Series`.
+
+    >>> sampler = Sampler(sim, interval_ns=10_000)
+    >>> sampler.watch("ctrl_q", lambda: switch.ports[0].queues[1].bytes)
+    >>> sampler.start(until_ns=1_000_000)
+    """
+
+    def __init__(self, sim: Simulator, interval_ns: int) -> None:
+        if interval_ns <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.interval_ns = interval_ns
+        self.series: dict[str, Series] = {}
+        self._probes: dict[str, Callable[[], float]] = {}
+        self._stop_at: Optional[int] = None
+        self._running = False
+
+    def watch(self, name: str, probe: Callable[[], float]) -> Series:
+        series = Series(name)
+        self.series[name] = series
+        self._probes[name] = probe
+        return series
+
+    def start(self, until_ns: Optional[int] = None) -> None:
+        self._stop_at = until_ns
+        if not self._running:
+            self._running = True
+            self._tick()
+
+    def stop(self) -> None:
+        self._stop_at = self.sim.now
+
+    def _tick(self) -> None:
+        if self._stop_at is not None and self.sim.now > self._stop_at:
+            self._running = False
+            return
+        for name, probe in self._probes.items():
+            self.series[name].append(self.sim.now, float(probe()))
+        self.sim.schedule(self.interval_ns, self._tick)
+
+
+def watch_switch_queues(sampler: Sampler, switch, ports=None) -> None:
+    """Convenience: watch data+control queue depths of a switch."""
+    ports = range(len(switch.ports)) if ports is None else ports
+    for p in ports:
+        sampler.watch(f"{switch.name}.p{p}.data",
+                      lambda sw=switch, i=p: sw.ports[i].queues[0].bytes)
+        if len(switch.ports[p].queues) > 1:
+            sampler.watch(f"{switch.name}.p{p}.ctrl",
+                          lambda sw=switch, i=p: sw.ports[i].queues[1].bytes)

@@ -1,0 +1,12 @@
+"""Congestion-control modules (pluggable into every transport)."""
+
+from repro.cc.base import CongestionControl, StaticWindowCc, UnlimitedCc
+from repro.cc.dcqcn import DcqcnCc, DcqcnParams
+
+__all__ = [
+    "CongestionControl",
+    "StaticWindowCc",
+    "UnlimitedCc",
+    "DcqcnCc",
+    "DcqcnParams",
+]

@@ -1,0 +1,315 @@
+"""DCP-RNIC: header-only-based retransmission and bitmap-free tracking.
+
+The sender/receiver state machines of §4.3-§4.5:
+
+Sender
+    * data packets carry the DCP_DATA tag, the extended header (RETH in
+      every packet, MSN, sRetryNo) and are subject to trimming;
+    * a returned HO packet is a *precise* loss notification: the RNIC
+      DMA-writes an (MSN, PSN) entry into the QP's host-memory
+      :class:`~repro.core.retransq.RetransQ`; the Tx path drains it in
+      batches, gated by the CC module's available window (``awin``);
+    * a **coarse-grained timeout** per QP covers control-plane violations
+      (HO/ACK losses, link failures): on expiry the whole unaMSN message
+      is resent with an incremented ``sRetryNo``, bypassing the window.
+
+Receiver
+    * order-tolerant reception (§4.4): any packet is written straight to
+      application memory — no reorder buffer; the simulator's analogue is
+      that payload accounting never needs contiguity;
+    * bitmap-free tracking (§4.5): a per-message counter via
+      :class:`~repro.core.tracking.CounterTracker`; eMSN advances over
+      in-order completed messages and each advance emits an ACK carrying
+      the new eMSN;
+    * HO packets are turned around (src/dst swap) toward the sender
+      through the lossless control plane.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.retransq import RetransQ
+from repro.core.tracking import CounterTracker
+from repro.net.packet import Packet, PacketKind, make_ack, make_data_packet
+from repro.rnic.base import (Flow, Message, QueuePair, RestartableTimer,
+                             RnicTransport, TransportConfig)
+from repro.sim import trace
+from repro.sim.engine import Simulator
+
+
+class _DcpSendState:
+    """Per-QP DCP sender variables."""
+
+    __slots__ = ("snd_nxt", "retransq", "timeout_rtx", "una_msn", "sretry",
+                 "msg_out_bytes", "timer", "acked_msn", "acked_bytes",
+                 "backoff")
+
+    def __init__(self) -> None:
+        self.snd_nxt = 0
+        self.retransq: Optional[RetransQ] = None
+        self.timeout_rtx: deque[tuple[int, int]] = deque()  # (msn, psn)
+        self.una_msn = 0
+        self.acked_msn = 0           # messages below this are acked (== eMSN)
+        self.acked_bytes = 0
+        self.sretry: dict[int, int] = {}
+        self.msg_out_bytes: dict[int, int] = {}
+        self.timer: Optional[RestartableTimer] = None
+        self.backoff = 0             # consecutive coarse timeouts (capped)
+
+
+class _DcpRecvState:
+    """Per-QP DCP receiver variables."""
+
+    __slots__ = ("tracker",)
+
+    def __init__(self, tracked_messages: int) -> None:
+        self.tracker = CounterTracker(tracked_messages=tracked_messages)
+
+
+class DcpTransport(RnicTransport):
+    """The DCP-RNIC transport (requires DCP-Switch trimming in the fabric)."""
+
+    name = "dcp"
+    dcp_wire = True
+
+    def __init__(self, sim: Simulator, host_id: int, config: TransportConfig) -> None:
+        super().__init__(sim, host_id, config)
+        self._snd: dict[int, _DcpSendState] = {}
+        self._rcv: dict[int, _DcpRecvState] = {}
+        self.ho_received = 0
+        self.ho_turned = 0
+        self.stale_ho = 0
+
+    # ---------------------------------------------------------------- state
+    def _send_state(self, qp: QueuePair) -> _DcpSendState:
+        st = self._snd.get(qp.qpn)
+        if st is None:
+            st = _DcpSendState()
+            st.retransq = RetransQ(
+                self.sim, pcie_rtt_ns=self.config.pcie_rtt_ns,
+                batch=self.config.retrans_batch,
+                naive=self.config.dcp_naive_retrans,
+                on_ready=lambda q=qp: self._activate(q))
+            st.timer = RestartableTimer(self.sim, lambda q=qp: self._on_coarse_timeout(q))
+            self._snd[qp.qpn] = st
+        return st
+
+    def _recv_state(self, qp: QueuePair) -> _DcpRecvState:
+        st = self._rcv.get(qp.qpn)
+        if st is None:
+            st = _DcpRecvState(tracked_messages=8)
+            self._rcv[qp.qpn] = st
+        return st
+
+
+    def _coarse_ns(self, qp: QueuePair, st: _DcpSendState) -> int:
+        """Coarse-timeout duration, scaled to the unacked backlog.
+
+        The fallback timer must never fire while a multi-MB message train
+        is still draining at line rate, so it covers several transmission
+        times of everything not yet acknowledged plus the configured base.
+        """
+        unacked = max(0, qp.posted_bytes - st.acked_bytes)
+        rate = self.nic.rate if self.nic is not None else 100.0
+        base = self.config.coarse_timeout_ns + int(4 * unacked * 8 / rate)
+        # Exponential backoff: each consecutive timeout doubles the wait,
+        # letting congested queues drain so the next retry round can land
+        # completely (otherwise constant-rate rounds can reset the
+        # receiver's counter forever under persistent loss).
+        return base << min(st.backoff, 8)
+
+    def post_message(self, qp: QueuePair, flow: Flow, size_bytes: int) -> Message:
+        msg = super().post_message(qp, flow, size_bytes)
+        st = self._send_state(qp)
+        if not st.timer.armed:
+            st.timer.restart(self._coarse_ns(qp, st))
+        return msg
+
+    # ---------------------------------------------------------------- sender
+    def _qp_has_work(self, qp: QueuePair) -> bool:
+        st = self._send_state(qp)
+        return (bool(st.timeout_rtx) or len(st.retransq) > 0
+                or st.snd_nxt < qp.next_psn)
+
+    def _qp_next_packet(self, qp: QueuePair) -> Optional[Packet]:
+        st = self._send_state(qp)
+
+        # 1. Coarse-timeout retransmissions: recovery actions bypass awin.
+        while st.timeout_rtx:
+            msn, psn = st.timeout_rtx.popleft()
+            if msn < st.acked_msn:
+                continue
+            return self._build_data(qp, st, psn, is_retx=True)
+
+        # 2. HO-based retransmissions from the RetransQ, gated by awin.
+        awin = qp.cc.available_window(qp.outstanding_bytes)
+        if st.retransq.host_len > 0:
+            st.retransq.request_fetch(
+                max(1, awin // (self.config.mtu_payload or 1)))
+        while st.retransq.has_ready():
+            if awin < self.config.mtu_payload:
+                break
+            entry = st.retransq.pop_ready()
+            if entry.msn < st.acked_msn:
+                self.stale_ho += 1
+                continue
+            return self._build_data(qp, st, entry.psn, is_retx=True)
+
+        # 3. New data — but only "after processing all fetched
+        # retransmission entries" (§4.3): pending loss repairs must not
+        # let new packets steal the window headroom their HOs freed.
+        if len(st.retransq) > 0:
+            return None
+        if st.snd_nxt >= qp.next_psn:
+            return None
+        msg = qp.psn_to_message(st.snd_nxt)
+        payload = msg.payload_of(st.snd_nxt - msg.base_psn, self.config.mtu_payload)
+        if awin < payload and qp.outstanding_bytes > 0:
+            # Progress guarantee: DCP's ACKs are message-granular, so a
+            # window smaller than a message must never wedge the QP —
+            # with nothing in flight, one packet is always admissible.
+            return None
+        if awin < payload and qp.outstanding_bytes == 0:
+            pass  # nothing outstanding: send to guarantee forward progress
+        packet = self._build_data(qp, st, st.snd_nxt, is_retx=False)
+        st.snd_nxt += 1
+        return packet
+
+    def _build_data(self, qp: QueuePair, st: _DcpSendState, psn: int,
+                    is_retx: bool) -> Packet:
+        msg = qp.psn_to_message(psn)
+        payload = msg.payload_of(psn - msg.base_psn, self.config.mtu_payload)
+        packet = make_data_packet(
+            self.host_id, qp.peer_host_id, flow_id=msg.flow.flow_id,
+            qpn=qp.peer_qpn, src_qpn=qp.qpn, psn=psn, msn=msg.msn,
+            payload=payload, mtu_payload=self.config.mtu_payload,
+            msg_len_pkts=msg.num_pkts, msg_len_bytes=msg.size_bytes,
+            msg_offset_pkts=psn - msg.base_psn, dcp=True, ssn=msg.ssn,
+            sretry_no=st.sretry.get(msg.msn, 0),
+            entropy=qp.entropy, is_retransmit=is_retx,
+        )
+        qp.outstanding_bytes += payload
+        st.msg_out_bytes[msg.msn] = st.msg_out_bytes.get(msg.msn, 0) + payload
+        if is_retx:
+            self.count_retransmit(msg.flow)
+        else:
+            msg.flow.stats.data_pkts_sent += 1
+        if not st.timer.armed:
+            st.timer.restart(self._coarse_ns(qp, st))
+        return packet
+
+    def _on_ho(self, qp: QueuePair, packet: Packet) -> None:
+        if not packet.ho_returned:
+            # We are the receiver: swap src/dst and bounce it to the sender
+            # via the control-priority path (§4.1 step 2).
+            packet.turn_around()
+            self.ho_turned += 1
+            self.nic.send_control(packet)
+            return
+        # We are the sender: a precise loss notification arrived.
+        st = self._send_state(qp)
+        self.ho_received += 1
+        msg = qp.psn_to_message(packet.psn)
+        msg.flow.stats.trims_seen += 1
+        if msg.msn < st.acked_msn:
+            self.stale_ho += 1
+            return
+        payload = msg.payload_of(packet.psn - msg.base_psn, self.config.mtu_payload)
+        qp.outstanding_bytes = max(0, qp.outstanding_bytes - payload)
+        out = st.msg_out_bytes.get(msg.msn, 0)
+        st.msg_out_bytes[msg.msn] = max(0, out - payload)
+        st.retransq.write(msg.msn, packet.psn)
+        self._activate(qp)
+
+    def _on_ack(self, qp: QueuePair, packet: Packet) -> None:
+        st = self._send_state(qp)
+        emsn = packet.emsn
+        if emsn <= st.acked_msn:
+            return
+        acked_bytes = 0
+        for msn in range(st.acked_msn, emsn):
+            msg = qp.messages.get(msn)
+            if msg is None:
+                continue
+            msg.acked = True
+            acked_bytes += msg.size_bytes
+            st.acked_bytes += msg.size_bytes
+            qp.outstanding_bytes = max(
+                0, qp.outstanding_bytes - st.msg_out_bytes.pop(msn, 0))
+            st.sretry.pop(msn, None)
+            if msg.flow.tx_complete_ns is None and all(
+                    m.acked for m in qp.messages.values() if m.flow is msg.flow):
+                msg.flow.tx_complete_ns = self.now
+        st.acked_msn = emsn
+        st.backoff = 0
+        qp.cc.on_ack(acked_bytes, self.now)
+        # §4.5: eMSN > unaMSN -> reset the coarse timer.
+        if emsn > st.una_msn:
+            st.una_msn = emsn
+        if st.una_msn >= qp.next_msn and not self._qp_has_work(qp):
+            st.timer.cancel()
+        else:
+            st.timer.restart(self._coarse_ns(qp, st))
+        self._activate(qp)
+
+    def _on_coarse_timeout(self, qp: QueuePair) -> None:
+        st = self._send_state(qp)
+        if st.una_msn >= qp.next_msn:
+            return
+        msg = qp.messages.get(st.una_msn)
+        if msg is None or msg.acked:
+            st.una_msn += 1
+            st.timer.restart(self._coarse_ns(qp, st))
+            return
+        # Fallback: resend every packet of the unaMSN message with a new
+        # retry number; the receiver recounts from zero (§4.5).
+        self.count_timeout(msg.flow)
+        qp.cc.on_timeout(self.now)
+        trace.emit(self.now, "timer", f"dcp{self.host_id}",
+                   flow_id=msg.flow.flow_id, msn=msg.msn,
+                   sretry=st.sretry.get(msg.msn, 0) + 1)
+        st.backoff += 1
+        st.sretry[msg.msn] = st.sretry.get(msg.msn, 0) + 1
+        st.timeout_rtx.extend(
+            (msg.msn, msg.base_psn + i) for i in range(msg.num_pkts))
+        st.timer.restart(self._coarse_ns(qp, st))
+        self._activate(qp)
+
+    # -------------------------------------------------------------- receiver
+    def _on_data(self, qp: QueuePair, packet: Packet) -> None:
+        st = self._recv_state(qp)
+        self.maybe_send_cnp(qp, packet)
+        tracker = st.tracker
+        flow = self.flow_of(packet)
+        before_emsn = tracker.emsn
+        if packet.msn < tracker.emsn or (
+                packet.msn in tracker.tracks and tracker.tracks[packet.msn].mcf):
+            # Duplicate for an already-complete message (timeout round or
+            # stale retransmission): refresh the sender's view of eMSN.
+            if flow is not None:
+                flow.stats.dup_pkts_received += 1
+            self._send_emsn_ack(qp, tracker.emsn)
+            return
+        completed = tracker.record(packet.msn, packet.msg_len_pkts,
+                                   packet.sretry_no)
+        if completed:
+            if flow is not None:
+                flow.deliver(packet.msg_len_bytes, self.now)
+            new_emsn, _cqes = tracker.advance_emsn()
+            if new_emsn > before_emsn:
+                self._send_emsn_ack(qp, new_emsn)
+
+    def _send_emsn_ack(self, qp: QueuePair, emsn: int) -> None:
+        ack = make_ack(self.host_id, qp.peer_host_id, flow_id=-1,
+                       qpn=qp.peer_qpn, src_qpn=qp.qpn, kind=PacketKind.ACK,
+                       emsn=emsn, dcp=True, entropy=qp.entropy)
+        self.nic.send_control(ack)
+
+    # ------------------------------------------------- unsupported handlers
+    def _on_sack(self, qp: QueuePair, packet: Packet) -> None:  # pragma: no cover
+        raise ValueError("DCP does not use SACK")
+
+    def _on_nak(self, qp: QueuePair, packet: Packet) -> None:  # pragma: no cover
+        raise ValueError("DCP does not use NAK")

@@ -1,0 +1,64 @@
+"""DCP header extension constants and the WRR weight rule (§4.2).
+
+The lossless control plane is guaranteed by scheduling weight alone:
+with switch radix ``N`` and an HO:data packet size ratio of ``1:r``,
+the worst case is an (N-1)-to-1 incast where every data packet is
+trimmed, producing ``B*(N-1)/r`` of HO traffic into one control queue
+that drains at ``B*w/(1+w)``.  Solving drain >= input gives
+
+    w = (N-1) / (r - N + 1)
+
+which is §4.2's theoretical weight, valid when ``r > N - 1``.  When
+``r <= N - 1`` no weight can guarantee losslessness; the paper (and
+:func:`wrr_weight` here) falls back to a configurable cap that §6.3
+shows is sufficient in practice (Table 5).
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import DCP_DATA_HEADER_BYTES, HO_PACKET_BYTES
+
+
+def ho_data_size_ratio(mtu_payload: int = 1000) -> float:
+    """The ``r`` of §4.2: data packet size over HO packet size."""
+    return (DCP_DATA_HEADER_BYTES + mtu_payload) / HO_PACKET_BYTES
+
+
+def wrr_weight(radix: int, r: float, fallback: float = 8.0) -> float:
+    """Control-queue WRR weight per §4.2.
+
+    Parameters
+    ----------
+    radix:
+        ``N``: the incast scale the switch must absorb losslessly
+        (ideally the switch radix).
+    r:
+        Data-to-HO packet size ratio (see :func:`ho_data_size_ratio`).
+    fallback:
+        Weight to use when ``r <= N - 1`` and the theoretical formula
+        has no solution.  §6.3 shows a small weight handles even
+        255-to-1 incast with N = 16.
+    """
+    if radix < 2:
+        raise ValueError("radix must be at least 2")
+    if r <= 0:
+        raise ValueError("size ratio must be positive")
+    denom = r - (radix - 1)
+    if denom <= 0:
+        return fallback
+    return (radix - 1) / denom
+
+
+def control_queue_share(weight: float) -> float:
+    """Fraction of link bandwidth the control queue can claim: w/(1+w)."""
+    if weight <= 0:
+        raise ValueError("weight must be positive")
+    return weight / (1.0 + weight)
+
+
+def max_lossless_incast(weight: float, r: float) -> int:
+    """Largest incast degree the control plane absorbs at weight ``w``.
+
+    Inverse of :func:`wrr_weight`: ``N - 1 = w * r / (1 + w)``.
+    """
+    return int(weight * r / (1.0 + weight)) + 1

@@ -1,0 +1,15 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Use :func:`repro.experiments.registry.run_experiment` or the
+``dcp-experiment`` CLI to regenerate any result.
+"""
+
+from repro.experiments.common import Network, NetworkSpec, build_network
+from repro.experiments.presets import PRESETS, ScalePreset, get_preset
+from repro.experiments.registry import REGISTRY, run_experiment
+from repro.experiments.result import ExperimentResult
+
+__all__ = [
+    "ExperimentResult", "Network", "NetworkSpec", "PRESETS", "REGISTRY",
+    "ScalePreset", "build_network", "get_preset", "run_experiment",
+]

@@ -1,0 +1,41 @@
+"""Command-line entry point: ``dcp-experiment <key> [--preset NAME]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import REGISTRY, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dcp-experiment",
+        description="Regenerate a table or figure from the DCP paper.")
+    parser.add_argument("experiment", nargs="?", default="list",
+                        help="experiment key (e.g. fig13) or 'list'/'all'")
+    parser.add_argument("--preset", default="default",
+                        choices=("quick", "default", "full"),
+                        help="simulation scale preset")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print(f"{'key':10s} {'paper':8s} sim  description")
+        for key, entry in REGISTRY.items():
+            print(f"{key:10s} {entry.paper_ref:8s} "
+                  f"{'yes' if entry.simulation else 'no ':3s}  "
+                  f"{entry.description}")
+        return 0
+
+    keys = list(REGISTRY) if args.experiment == "all" else [args.experiment]
+    for key in keys:
+        start = time.time()
+        result = run_experiment(key, preset=args.preset)
+        result.print_table()
+        print(f"[{key} finished in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Fig 13: FCT slowdown under the WebSearch workload (loads 0.3 / 0.5).
+
+The paper's headline general-workload comparison: PFC(+ECMP), IRN(+AR),
+MP-RDMA and DCP(+AR) on a two-layer CLOS.  Reports P50/P95 slowdown per
+flow-size bin plus overall percentiles.  The shape to preserve: the
+fine-grained LB schemes beat PFC+ECMP, and DCP posts the lowest tail
+slowdown among them (paper: 5-16% under IRN/MP-RDMA tails).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fct import overall_percentiles, slowdown_bins
+from repro.experiments.common import Network, build_network
+from repro.experiments.presets import get_preset
+from repro.experiments.result import ExperimentResult
+from repro.workload.distributions import websearch
+from repro.workload.flows import PoissonWorkload
+
+#: (row label, transport, load balancer) — the Fig 13 legend.
+SCHEMES = (
+    ("pfc-ecmp", "gbn", "ecmp"),
+    ("irn-ar", "irn", "ar"),
+    ("mp-rdma", "mp_rdma", "ecmp"),
+    ("dcp-ar", "dcp", "ar"),
+)
+
+
+def run_scheme(label: str, transport: str, lb: str, load: float, preset,
+               seed: int = 61, spine_delay_ns: int | None = None,
+               cc: str = "none",
+               buffer_override: int | None = None) -> Network:
+    """One Fig 13/15 cell: a WebSearch run for one scheme at one load."""
+    net = build_network(
+        transport=transport, topology="clos", num_hosts=preset.num_hosts,
+        num_leaves=preset.num_leaves, num_spines=preset.num_spines,
+        link_rate=preset.link_rate, lb=lb, seed=seed, cc=cc,
+        buffer_bytes=buffer_override or preset.buffer_bytes,
+        spine_link_delay_ns=spine_delay_ns or 1_000)
+    wl = PoissonWorkload(load=load, size_dist=websearch(scale=preset.ws_scale),
+                         duration_ns=preset.duration_ns, seed=seed,
+                         max_flows=preset.max_flows)
+    wl.generate(net)
+    net.run_until_flows_done(max_events=250_000_000)
+    return net
+
+
+def run(preset: str = "default", loads: tuple[float, ...] = (0.3, 0.5)
+        ) -> ExperimentResult:
+    p = get_preset(preset)
+    result = ExperimentResult(
+        "fig13", "WebSearch FCT slowdown (P50/P95) per scheme and load")
+    for load in loads:
+        for label, transport, lb in SCHEMES:
+            net = run_scheme(label, transport, lb, load, p)
+            sds = net.slowdowns()
+            stats = overall_percentiles(sds)
+            bins = slowdown_bins(sds, scale=p.ws_scale)
+            large_bins = [b for b in bins if b.bin_kb >= 1000]
+            result.rows.append({
+                "load": load,
+                "scheme": label,
+                "flows": len(sds),
+                "p50": stats["p50"],
+                "p95": stats["p95"],
+                "p99": stats["p99"],
+                "large_flow_p95": (max(b.p95 for b in large_bins)
+                                   if large_bins else float("nan")),
+                "timeouts": sum(f.stats.timeouts for f, _ in sds),
+                "retx": sum(f.stats.retx_pkts_sent for f, _ in sds),
+            })
+    result.notes = ("paper: DCP lowest tail; ~5%/16% under IRN/MP-RDMA at "
+                    "load 0.3, ~10%/12% at 0.5")
+    return result
+
+
+def per_bin_table(preset: str = "default", load: float = 0.5,
+                  percentile_key: str = "p95") -> ExperimentResult:
+    """The full per-size-bin curves (the actual Fig 13 x-axis)."""
+    p = get_preset(preset)
+    result = ExperimentResult(
+        "fig13-bins", f"Per-bin {percentile_key} slowdown at load {load}")
+    curves = {}
+    for label, transport, lb in SCHEMES:
+        net = run_scheme(label, transport, lb, load, p)
+        bins = slowdown_bins(net.slowdowns(), scale=p.ws_scale)
+        curves[label] = {b.bin_kb: getattr(b, percentile_key) for b in bins}
+    all_bins = sorted({kb for c in curves.values() for kb in c})
+    for kb in all_bins:
+        row = {"bin_kb": kb}
+        for label in curves:
+            row[label] = curves[label].get(kb, float("nan"))
+        result.rows.append(row)
+    return result
+
+
+def main() -> None:
+    run().print_table()
+
+
+if __name__ == "__main__":
+    main()

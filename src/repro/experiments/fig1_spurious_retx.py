@@ -1,0 +1,81 @@
+"""Fig 1: spurious retransmissions of IRN vs DCP under adaptive routing.
+
+CLOS fabric, adaptive routing, WebSearch background at load 0.3 with
+buffers large enough that *no packet is dropped* — yet IRN retransmits
+heavily because AR-induced out-of-order arrivals trigger SACK-based
+loss recovery.  DCP's HO-based scheme retransmits only on real trims,
+so its ratio is zero.
+
+Outputs both views of the figure: per-flow retransmission ratio by
+flow size (Fig 1a) and the CDF of the ratio per size class (Fig 1b).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fct import percentile, retransmission_ratio
+from repro.experiments.common import Network, build_network
+from repro.experiments.presets import get_preset
+from repro.experiments.result import ExperimentResult
+from repro.workload.distributions import websearch, websearch_class
+from repro.workload.flows import PoissonWorkload
+
+
+def _run_scheme(scheme: str, preset, seed: int = 41) -> Network:
+    net = build_network(
+        transport=scheme, topology="clos", num_hosts=preset.num_hosts,
+        num_leaves=preset.num_leaves, num_spines=preset.num_spines,
+        link_rate=preset.link_rate, lb="ar", seed=seed,
+        # Large buffer + high trim threshold: congestion never drops or
+        # trims, isolating the pure reordering effect the figure targets.
+        buffer_bytes=8 * preset.buffer_bytes,
+        trim_threshold_bytes=2 * preset.buffer_bytes)
+    wl = PoissonWorkload(load=0.3, size_dist=websearch(scale=preset.ws_scale),
+                         duration_ns=preset.duration_ns, seed=seed,
+                         max_flows=preset.max_flows)
+    wl.generate(net)
+    net.run_until_flows_done(max_events=150_000_000)
+    return net
+
+
+def run(preset: str = "default") -> ExperimentResult:
+    p = get_preset(preset)
+    result = ExperimentResult(
+        "fig1", "Spurious retransmissions: IRN vs DCP with AR, WebSearch 0.3")
+    nets = {scheme: _run_scheme(scheme, p) for scheme in ("irn", "dcp")}
+    for scheme, net in nets.items():
+        flows = net.completed_flows()
+        drops = net.fabric.switch_stats_sum("dropped_congestion") \
+            + net.fabric.switch_stats_sum("dropped_buffer")
+        trims = net.fabric.switch_stats_sum("trimmed")
+        ratios = {"small": [], "medium": [], "large": []}
+        for f in flows:
+            cls = websearch_class(f.size_bytes, scale=p.ws_scale)
+            ratios[cls].append(retransmission_ratio(f))
+        all_ratios = [r for rs in ratios.values() for r in rs]
+        spurious = sum(1 for r in all_ratios if r > 0)
+        row = {
+            "scheme": scheme,
+            "flows": len(flows),
+            "real_drops": drops,
+            "trims": trims,
+            "flows_with_retx": f"{spurious / max(1, len(all_ratios)):.0%}",
+            "mean_retx_ratio": (sum(all_ratios) / len(all_ratios)
+                                if all_ratios else 0.0),
+            "p95_retx_ratio": percentile(all_ratios, 95) if all_ratios else 0.0,
+        }
+        for cls in ("small", "medium", "large"):
+            vals = ratios[cls]
+            frac = (sum(1 for r in vals if r > 0) / len(vals)) if vals else 0.0
+            row[f"{cls}_spurious_frac"] = f"{frac:.0%}"
+        result.rows.append(row)
+    result.notes = ("paper Fig 1b: ~50%/80%/90% of small/medium/large IRN "
+                    "flows retransmit spuriously; DCP: none")
+    return result
+
+
+def main() -> None:
+    run().print_table()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Registry mapping every paper table/figure to its regeneration module."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.result import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One reproducible paper result."""
+
+    key: str
+    module: str
+    paper_ref: str
+    description: str
+    simulation: bool          # False -> analytic, runs instantly
+
+    def load(self) -> Callable[..., ExperimentResult]:
+        mod = importlib.import_module(self.module)
+        return mod.run
+
+
+REGISTRY: dict[str, ExperimentEntry] = {
+    e.key: e for e in (
+        ExperimentEntry("table1", "repro.experiments.table1_lossless_distance",
+                        "Table 1", "Max PFC-lossless distance per ASIC", False),
+        ExperimentEntry("table2", "repro.experiments.table2_requirements",
+                        "Table 2", "R1-R4 qualification matrix", False),
+        ExperimentEntry("table3", "repro.experiments.table3_memory",
+                        "Table 3", "Packet-tracking memory overhead", False),
+        ExperimentEntry("table4", "repro.experiments.table4_resources",
+                        "Table 4", "RNIC resource inventory", False),
+        ExperimentEntry("table5", "repro.experiments.table5_ho_loss",
+                        "Table 5", "HO loss under severe incast", True),
+        ExperimentEntry("fig1", "repro.experiments.fig1_spurious_retx",
+                        "Fig 1", "IRN spurious retransmissions vs DCP", True),
+        ExperimentEntry("fig2", "repro.experiments.fig2_rto",
+                        "Fig 2", "Excessive RTOs in IRN vs DCP", True),
+        ExperimentEntry("fig7", "repro.experiments.fig7_packet_rate",
+                        "Fig 7", "Packet rate vs OOO degree", False),
+        ExperimentEntry("fig8", "repro.experiments.fig8_basic_perf",
+                        "Fig 8", "Throughput/latency: DCP vs GBN vs TCP", True),
+        ExperimentEntry("fig10", "repro.experiments.fig10_loss_recovery",
+                        "Fig 10", "Loss recovery: DCP vs CX5 goodput", True),
+        ExperimentEntry("fig11", "repro.experiments.fig11_ar_unequal",
+                        "Fig 11", "AR over unequal paths", True),
+        ExperimentEntry("fig12", "repro.experiments.fig12_testbed_ai",
+                        "Fig 12", "Testbed AllReduce/AllToAll JCT", True),
+        ExperimentEntry("fig13", "repro.experiments.fig13_websearch",
+                        "Fig 13", "WebSearch FCT slowdown", True),
+        ExperimentEntry("fig14", "repro.experiments.fig14_ai_sim",
+                        "Fig 14", "Simulated collectives JCT + FCT CDF", True),
+        ExperimentEntry("fig15", "repro.experiments.fig15_crossdc",
+                        "Fig 15", "Cross-DC FCT slowdown", True),
+        ExperimentEntry("fig16", "repro.experiments.fig16_incast_cc",
+                        "Fig 16", "Incast w/ and w/o CC", True),
+        ExperimentEntry("fig17", "repro.experiments.fig17_loss_schemes",
+                        "Fig 17", "Recovery schemes vs loss rate", True),
+        ExperimentEntry("longhaul", "repro.experiments.longhaul",
+                        "§6.1", "10 km long-haul goodput", True),
+        ExperimentEntry("deepdive", "repro.experiments.deepdive_control_plane",
+                        "§6.3", "Queue-level view of the lossless CP", True),
+    )
+}
+
+
+def run_experiment(key: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by key (e.g. ``fig13``)."""
+    try:
+        entry = REGISTRY[key]
+    except KeyError:
+        raise ValueError(f"unknown experiment {key!r}; "
+                         f"choose from {sorted(REGISTRY)}") from None
+    run = entry.load()
+    import inspect
+    params = inspect.signature(run).parameters
+    accepted = {k: v for k, v in kwargs.items() if k in params}
+    return run(**accepted)

@@ -1,0 +1,61 @@
+"""Common result container for experiment scripts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerating one of the paper's tables or figures."""
+
+    experiment: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def columns(self) -> list[str]:
+        cols: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    def format_table(self) -> str:
+        """Plain-text table, one row per dict."""
+        cols = self.columns()
+        if not cols:
+            return f"{self.experiment}: (no rows)"
+
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.4g}"
+            if isinstance(value, tuple):
+                return "~".join(fmt(v) for v in value)
+            return str(value)
+
+        table = [[fmt(row.get(c, "")) for c in cols] for row in self.rows]
+        widths = [max(len(c), *(len(r[i]) for r in table)) if table else len(c)
+                  for i, c in enumerate(cols)]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in table:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def print_table(self) -> None:
+        print(self.format_table())
+
+    def column(self, name: str) -> list[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def row_by(self, key: str, value: Any) -> dict[str, Any]:
+        for row in self.rows:
+            if row.get(key) == value:
+                return row
+        raise KeyError(f"no row with {key}={value!r}")

@@ -1,0 +1,103 @@
+"""Structured failure injection: link flaps, switch blackouts.
+
+The paper's coarse-grained timeout exists exactly for "link/switch
+crashes" (§4.5); this module provides the scripted failures the tests
+and robustness examples use to exercise that path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.switch import Switch
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class FailureEvent:
+    """One scheduled failure (and optional recovery)."""
+
+    kind: str              # "link" | "switch"
+    target: str
+    fail_at_ns: int
+    recover_at_ns: Optional[int]
+
+
+class FailureInjector:
+    """Schedules link/switch failures against a wired fabric."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.events: list[FailureEvent] = []
+
+    def fail_link(self, switch: Switch, port: int, at_ns: int,
+                  recover_at_ns: Optional[int] = None,
+                  bidirectional: bool = True,
+                  converge_routing: bool = False) -> FailureEvent:
+        """Sever the link behind ``switch.ports[port]``.
+
+        ``bidirectional`` also downs the reverse direction.
+        ``converge_routing`` removes the port from multi-path routing
+        entries at failure time (models the routing protocol reacting)
+        and restores it at recovery.
+        """
+        link = switch.ports[port].link
+        if link is None:
+            raise ValueError(f"{switch.name} port {port} has no link")
+        neighbor_info = switch.neighbors.get(port)
+        reverse = None
+        if bidirectional and neighbor_info is not None:
+            neighbor, their_port = neighbor_info
+            reverse = getattr(neighbor, "ports", None)
+            if reverse is not None:
+                reverse = neighbor.ports[their_port].link
+
+        removed: list[tuple[dict, int]] = []
+
+        def fail() -> None:
+            link.up = False
+            if reverse is not None:
+                reverse.up = False
+            if converge_routing:
+                for dst, ports in switch.routing_table.items():
+                    if len(ports) > 1 and port in ports:
+                        ports.remove(port)
+                        removed.append((switch.routing_table, dst))
+
+        def recover() -> None:
+            link.up = True
+            if reverse is not None:
+                reverse.up = True
+            for table, dst in removed:
+                if port not in table[dst]:
+                    table[dst].append(port)
+            removed.clear()
+
+        self.sim.schedule(max(0, at_ns - self.sim.now), fail)
+        if recover_at_ns is not None:
+            self.sim.schedule(max(0, recover_at_ns - self.sim.now), recover)
+        event = FailureEvent("link", f"{switch.name}.p{port}", at_ns,
+                             recover_at_ns)
+        self.events.append(event)
+        return event
+
+    def fail_switch(self, switch: Switch, at_ns: int,
+                    recover_at_ns: Optional[int] = None) -> FailureEvent:
+        """Blackhole an entire switch (all its egress links go down)."""
+        links = [p.link for p in switch.ports if p.link is not None]
+
+        def fail() -> None:
+            for link in links:
+                link.up = False
+
+        def recover() -> None:
+            for link in links:
+                link.up = True
+
+        self.sim.schedule(max(0, at_ns - self.sim.now), fail)
+        if recover_at_ns is not None:
+            self.sim.schedule(max(0, recover_at_ns - self.sim.now), recover)
+        event = FailureEvent("switch", switch.name, at_ns, recover_at_ns)
+        self.events.append(event)
+        return event

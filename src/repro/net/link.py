@@ -1,0 +1,54 @@
+"""Point-to-point links.
+
+A :class:`Link` is a unidirectional channel from one device's egress
+port to a peer device's ingress.  Full-duplex cables are modelled as a
+pair of links (see :func:`connect`).  The link adds propagation delay
+only; serialization happens in the egress port that drives it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+
+
+class Device(Protocol):
+    """Anything that can terminate a link."""
+
+    def receive(self, packet: "Packet", in_port: int) -> None: ...
+
+
+class Link:
+    """Unidirectional propagation channel."""
+
+    def __init__(self, sim: Simulator, dst: Device, dst_port: int,
+                 prop_delay_ns: int, name: str = "link") -> None:
+        if prop_delay_ns < 0:
+            raise ValueError("propagation delay must be non-negative")
+        self.sim = sim
+        self.dst = dst
+        self.dst_port = dst_port
+        self.prop_delay_ns = prop_delay_ns
+        self.name = name
+        self.delivered_packets = 0
+        self.delivered_bytes = 0
+        self.up = True
+
+    def deliver(self, packet: "Packet") -> None:
+        """Start propagating ``packet``; it arrives after the link delay.
+
+        A downed link (``up = False``) silently discards traffic, which
+        models the link/switch failures that DCP's coarse timeout
+        fallback (§4.5) must cover.
+        """
+        if not self.up:
+            return
+        self.delivered_packets += 1
+        self.delivered_bytes += packet.size_bytes
+        packet.hops += 1
+        self.sim.schedule(self.prop_delay_ns,
+                          lambda p=packet: self.dst.receive(p, self.dst_port))

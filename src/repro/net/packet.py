@@ -1,0 +1,225 @@
+"""Packet model with the DCP header extensions of §4.2/§4.4.
+
+A single mutable :class:`Packet` class models every on-wire unit:
+RoCE data packets, ACK/SACK/NAK, DCP header-only (HO) packets, CNPs,
+PFC PAUSE/RESUME frames and the TCP comparison stack's segments.
+
+The DCP tag (two bits of the IP ToS field in the paper) classifies
+packets for the switch:
+
+==========  =====  =================================================
+tag         bits   switch behaviour when the data queue is congested
+==========  =====  =================================================
+NON_DCP     00     dropped
+DCP_ACK     01     dropped
+DCP_DATA    10     payload trimmed; becomes an HO packet
+DCP_HO      11     enqueued in the (prioritized) control queue
+==========  =====  =================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class DcpTag(enum.IntEnum):
+    """The two ToS bits reserved by DCP (§4.2)."""
+
+    NON_DCP = 0b00
+    DCP_ACK = 0b01
+    DCP_DATA = 0b10
+    DCP_HO = 0b11
+
+
+class PacketKind(enum.IntEnum):
+    """Protocol-level packet type (finer grained than the DCP tag)."""
+
+    DATA = 1            # RDMA data segment
+    ACK = 2             # cumulative acknowledgment (eMSN / ePSN)
+    SACK = 3            # IRN selective acknowledgment
+    NAK = 4             # GBN out-of-sequence NAK
+    HO = 5              # DCP header-only packet (trimmed data)
+    CNP = 6             # DCQCN congestion notification packet
+    PAUSE = 7           # PFC PAUSE frame
+    RESUME = 8          # PFC RESUME frame
+    TCP_DATA = 9
+    TCP_ACK = 10
+
+
+# --- header sizes (bytes), per footnote 6 of the paper -------------------
+ETH_HDR = 14
+IP_HDR = 20
+UDP_HDR = 8
+BTH_HDR = 12
+MSN_FIELD = 3
+RETH_HDR = 16
+SSN_FIELD = 3
+
+#: 57 B = Ethernet + IP + UDP + BTH + MSN: the HO packet size (§4.2).
+HO_PACKET_BYTES = ETH_HDR + IP_HDR + UDP_HDR + BTH_HDR + MSN_FIELD
+#: Header carried by every DCP data packet (RETH in all packets, §4.4).
+DCP_DATA_HEADER_BYTES = HO_PACKET_BYTES + RETH_HDR
+#: Standard RoCE data header (first packet carries RETH; we use a flat value).
+ROCE_DATA_HEADER_BYTES = ETH_HDR + IP_HDR + UDP_HDR + BTH_HDR
+#: ACK: header + AETH(4) + eMSN(3)
+ACK_PACKET_BYTES = ETH_HDR + IP_HDR + UDP_HDR + BTH_HDR + 4 + 3
+CNP_PACKET_BYTES = ETH_HDR + IP_HDR + UDP_HDR + BTH_HDR + 16
+PAUSE_FRAME_BYTES = 64
+
+_packet_ids = itertools.count()
+
+
+@dataclass(slots=True)
+class Packet:
+    """A simulated packet.
+
+    ``size_bytes`` is the on-wire size including headers; ``payload_bytes``
+    is the application payload (zero for control packets).  Identity
+    fields (``flow_id``, ``qpn``, ``psn``, ``msn``...) model the RoCE BTH
+    and DCP's extensions.
+    """
+
+    src: int
+    dst: int
+    kind: PacketKind
+    size_bytes: int
+    payload_bytes: int = 0
+    flow_id: int = -1
+    qpn: int = -1                  # destination QP number
+    src_qpn: int = -1
+    psn: int = -1                  # packet sequence number (BTH)
+    msn: int = -1                  # message sequence number (DCP extension)
+    ssn: int = -1                  # send sequence number (two-sided ops)
+    msg_len_pkts: int = 0          # packets in this message (from RETH length)
+    msg_len_bytes: int = 0
+    msg_offset_pkts: int = 0       # this packet's index within its message
+    sretry_no: int = 0             # sender retry number (§4.5 fallback)
+    emsn: int = -1                 # cumulative expected MSN (ACK packets)
+    ack_psn: int = -1              # cumulative PSN (ACK/SACK)
+    sack_psn: int = -1             # PSN of the OOO packet that triggered a SACK
+    dcp_tag: DcpTag = DcpTag.NON_DCP
+    ecn_capable: bool = True
+    ecn_ce: bool = False           # congestion-experienced mark
+    entropy: int = 0               # ECMP hash input (UDP sport); per-path for MP-RDMA
+    priority: int = 0              # PFC priority class
+    pause_priority: int = 0        # priority a PAUSE/RESUME frame refers to
+    pause_duration_ns: int = 0
+    is_retransmit: bool = False
+    ho_returned: bool = False      # HO packet already turned around by receiver
+    timestamp_ns: int = -1         # sender send time (RACK-TLP)
+    hops: int = 0
+    ingress_hint: int = -1         # transient: ingress port at the current switch
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    # ---------------------------------------------------------------- DCP
+    def trim(self) -> None:
+        """Trim the payload (switch Packet Trimming module, §4.2).
+
+        The packet becomes a header-only packet: kind HO, DCP tag 11,
+        57 bytes on the wire.  All identity fields are preserved, which
+        is exactly what lets the sender retransmit precisely.
+        """
+        if self.dcp_tag is not DcpTag.DCP_DATA:
+            raise ValueError("only DCP data packets can be trimmed")
+        self.kind = PacketKind.HO
+        self.dcp_tag = DcpTag.DCP_HO
+        self.size_bytes = HO_PACKET_BYTES
+        self.payload_bytes = 0
+
+    def turn_around(self) -> None:
+        """Receiver-side HO turnaround (§4.1 step 2).
+
+        Swaps source/destination addresses and QPNs so the HO packet
+        travels back to the sender.
+        """
+        if self.kind is not PacketKind.HO:
+            raise ValueError("only HO packets are turned around")
+        self.src, self.dst = self.dst, self.src
+        self.qpn, self.src_qpn = self.src_qpn, self.qpn
+        self.ho_returned = True
+
+    # ------------------------------------------------------------- helpers
+    @property
+    def is_control(self) -> bool:
+        """True for packets the DCP switch serves from the control queue."""
+        return self.kind is PacketKind.HO
+
+    @property
+    def is_droppable_under_congestion(self) -> bool:
+        """§4.2: non-DCP and DCP ACK packets are dropped when congested."""
+        return self.dcp_tag in (DcpTag.NON_DCP, DcpTag.DCP_ACK)
+
+    def clone_header(self) -> "Packet":
+        """Copy of the packet with a fresh uid (used by retransmission)."""
+        clone = Packet(
+            src=self.src, dst=self.dst, kind=self.kind,
+            size_bytes=self.size_bytes, payload_bytes=self.payload_bytes,
+            flow_id=self.flow_id, qpn=self.qpn, src_qpn=self.src_qpn,
+            psn=self.psn, msn=self.msn, ssn=self.ssn,
+            msg_len_pkts=self.msg_len_pkts, msg_len_bytes=self.msg_len_bytes,
+            msg_offset_pkts=self.msg_offset_pkts, sretry_no=self.sretry_no,
+            emsn=self.emsn, ack_psn=self.ack_psn, sack_psn=self.sack_psn,
+            dcp_tag=self.dcp_tag, ecn_capable=self.ecn_capable,
+            entropy=self.entropy, priority=self.priority,
+            is_retransmit=self.is_retransmit, timestamp_ns=self.timestamp_ns,
+        )
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Packet({self.kind.name} {self.src}->{self.dst} flow={self.flow_id} "
+                f"psn={self.psn} msn={self.msn} size={self.size_bytes}"
+                f"{' RTX' if self.is_retransmit else ''}"
+                f"{' CE' if self.ecn_ce else ''})")
+
+
+def make_data_packet(src: int, dst: int, *, flow_id: int, qpn: int, src_qpn: int,
+                     psn: int, msn: int, payload: int, mtu_payload: int,
+                     msg_len_pkts: int, msg_len_bytes: int, msg_offset_pkts: int,
+                     dcp: bool, ssn: int = -1, sretry_no: int = 0,
+                     entropy: int = 0, is_retransmit: bool = False,
+                     priority: int = 0) -> Packet:
+    """Build a data packet with the right header overhead.
+
+    DCP data packets carry the extended header (RETH in every packet,
+    MSN/SSN/sRetryNo fields) and the DCP_DATA tag; baseline RoCE packets
+    carry the standard header and the NON_DCP tag.
+    """
+    if payload <= 0 or payload > mtu_payload:
+        raise ValueError(f"payload {payload} outside (0, {mtu_payload}]")
+    header = DCP_DATA_HEADER_BYTES if dcp else ROCE_DATA_HEADER_BYTES
+    return Packet(
+        src=src, dst=dst, kind=PacketKind.DATA,
+        size_bytes=header + payload, payload_bytes=payload,
+        flow_id=flow_id, qpn=qpn, src_qpn=src_qpn, psn=psn, msn=msn, ssn=ssn,
+        msg_len_pkts=msg_len_pkts, msg_len_bytes=msg_len_bytes,
+        msg_offset_pkts=msg_offset_pkts, sretry_no=sretry_no,
+        dcp_tag=DcpTag.DCP_DATA if dcp else DcpTag.NON_DCP,
+        entropy=entropy, is_retransmit=is_retransmit, priority=priority,
+    )
+
+
+def make_ack(src: int, dst: int, *, flow_id: int, qpn: int, src_qpn: int,
+             kind: PacketKind = PacketKind.ACK, ack_psn: int = -1,
+             emsn: int = -1, sack_psn: int = -1, dcp: bool = False,
+             entropy: int = 0, priority: int = 0) -> Packet:
+    """Build an acknowledgment (ACK/SACK/NAK) packet."""
+    return Packet(
+        src=src, dst=dst, kind=kind, size_bytes=ACK_PACKET_BYTES,
+        flow_id=flow_id, qpn=qpn, src_qpn=src_qpn,
+        ack_psn=ack_psn, emsn=emsn, sack_psn=sack_psn,
+        dcp_tag=DcpTag.DCP_ACK if dcp else DcpTag.NON_DCP,
+        entropy=entropy, priority=priority,
+    )
+
+
+def make_cnp(src: int, dst: int, *, flow_id: int, qpn: int, src_qpn: int,
+             dcp: bool = False) -> Packet:
+    """Build a DCQCN congestion notification packet."""
+    return Packet(
+        src=src, dst=dst, kind=PacketKind.CNP, size_bytes=CNP_PACKET_BYTES,
+        flow_id=flow_id, qpn=qpn, src_qpn=src_qpn,
+        dcp_tag=DcpTag.DCP_ACK if dcp else DcpTag.NON_DCP,
+    )

@@ -1,0 +1,111 @@
+"""Egress port: queues, scheduler and the wire transmitter.
+
+The port is where serialization happens: it pulls one packet at a time
+from its queue set (as chosen by the scheduler), holds the wire for the
+packet's serialization time, then hands the packet to the link for
+propagation.  PFC PAUSE state blocks individual traffic classes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.queues import ByteQueue, StrictPriorityScheduler, WrrScheduler
+from repro.sim.engine import Simulator
+from repro.sim.units import serialization_ns
+
+Scheduler = WrrScheduler | StrictPriorityScheduler
+
+
+class EgressPort:
+    """A transmitter driving one link from a set of class queues.
+
+    Parameters
+    ----------
+    rate_bits_per_ns:
+        Line rate.  ``100.0`` is 100 Gbps.
+    queues:
+        One :class:`ByteQueue` per traffic class.  Index is the class id.
+    scheduler:
+        Picks the next class to serve; defaults to strict priority.
+    on_dequeue:
+        Optional hook fired when a packet leaves the buffer (used by the
+        switch for PFC ingress-counter release and queue-length stats).
+    """
+
+    def __init__(self, sim: Simulator, rate_bits_per_ns: float,
+                 queues: list[ByteQueue], link: Optional[Link] = None,
+                 scheduler: Optional[Scheduler] = None,
+                 on_dequeue: Optional[Callable[[Packet], None]] = None,
+                 name: str = "port") -> None:
+        if rate_bits_per_ns <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.rate = rate_bits_per_ns
+        self.queues = queues
+        self.link = link
+        self.scheduler = scheduler or StrictPriorityScheduler(queues)
+        self.on_dequeue = on_dequeue
+        self.name = name
+        self.busy = False
+        self.paused_classes: set[int] = set()
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.busy_ns = 0
+
+    # ------------------------------------------------------------ control
+    def pause(self, cls: int) -> None:
+        """PFC PAUSE: stop serving traffic class ``cls``."""
+        self.paused_classes.add(cls)
+
+    def resume(self, cls: int) -> None:
+        """PFC RESUME: allow traffic class ``cls`` again."""
+        self.paused_classes.discard(cls)
+        self.notify()
+
+    @property
+    def buffered_bytes(self) -> int:
+        return sum(q.bytes for q in self.queues)
+
+    @property
+    def buffered_packets(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    # --------------------------------------------------------------- data
+    def enqueue(self, packet: Packet, cls: int = 0) -> bool:
+        """Queue ``packet`` in class ``cls`` and kick the transmitter."""
+        ok = self.queues[cls].push(packet)
+        if ok:
+            self.notify()
+        return ok
+
+    def notify(self) -> None:
+        """Start transmitting if idle and something is servable."""
+        if not self.busy:
+            self._send_next()
+
+    def _send_next(self) -> None:
+        idx = self.scheduler.select(blocked=self.paused_classes)
+        if idx is None:
+            return
+        packet = self.queues[idx].pop()
+        self.busy = True
+        ser = serialization_ns(packet.size_bytes, self.rate)
+        self.busy_ns += ser
+        self.sim.schedule(ser, lambda p=packet: self._tx_done(p))
+
+    def _tx_done(self, packet: Packet) -> None:
+        self.busy = False
+        self.tx_packets += 1
+        self.tx_bytes += packet.size_bytes
+        if self.on_dequeue is not None:
+            self.on_dequeue(packet)
+        if self.link is not None:
+            self.link.deliver(packet)
+        self._send_next()
+
+    def utilization(self, elapsed_ns: int) -> float:
+        """Fraction of ``elapsed_ns`` the wire was busy."""
+        return self.busy_ns / elapsed_ns if elapsed_ns > 0 else 0.0

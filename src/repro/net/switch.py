@@ -1,0 +1,251 @@
+"""Output-queued switch with the DCP-Switch lossless control plane.
+
+Each egress port owns a *data queue* (class 0) and a *control queue*
+(class 1).  The control queue holds header-only (HO) packets produced
+by the Packet Trimming module and is prioritized by a WRR scheduler
+(§4.2), which is what makes the control plane effectively lossless
+while the data plane stays lossy.
+
+The same class also serves as the substrate switch for all baselines:
+
+* trimming disabled + PFC enabled  -> lossless RoCE fabric (GBN, MP-RDMA)
+* trimming disabled + PFC disabled -> plain lossy fabric (IRN, RACK-TLP...)
+* trimming enabled                 -> DCP-Switch
+
+Forced random loss (``loss_rate``) reproduces the testbed loss-injection
+experiments (Fig 10/17): for DCP traffic a forced "drop" executes the
+trimming module instead, exactly as the paper's P4 program does.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.ecn import EcnMarker, RedProfile
+from repro.net.link import Link
+from repro.net.packet import DcpTag, Packet, PacketKind
+from repro.net.pfc import PfcConfig, PfcController
+from repro.net.port import EgressPort
+from repro.net.queues import ByteQueue, WrrScheduler
+from repro.sim import trace
+from repro.sim.engine import Simulator
+
+DATA_CLASS = 0
+CONTROL_CLASS = 1
+
+
+@dataclass
+class SwitchConfig:
+    """Static configuration of a switch."""
+
+    num_ports: int
+    rate_bits_per_ns: float = 100.0
+    buffer_bytes: int = 32_000_000          # shared buffer (32 MB in §6.2)
+    data_queue_bytes: Optional[int] = None  # per-egress cap; None = share/port
+    # --- DCP-Switch ------------------------------------------------------
+    enable_trimming: bool = False
+    trim_threshold_bytes: int = 100_000     # data-queue length that triggers trimming
+    control_queue_bytes: int = 2_000_000
+    wrr_weight: float = 4.0                 # control : data service ratio (w : 1)
+    # --- baselines -------------------------------------------------------
+    pfc: Optional[PfcConfig] = None
+    red: Optional[RedProfile] = None
+    # --- fault/loss injection (testbed experiments) -----------------------
+    loss_rate: float = 0.0
+    loss_seed: int = 1
+    per_port_rate: dict[int, float] = field(default_factory=dict)
+
+    def effective_data_queue_bytes(self) -> int:
+        if self.data_queue_bytes is not None:
+            return self.data_queue_bytes
+        return max(1, self.buffer_bytes // max(1, self.num_ports))
+
+
+@dataclass
+class SwitchStats:
+    """Per-switch counters used by the experiment harnesses."""
+
+    forwarded: int = 0
+    trimmed: int = 0
+    dropped_congestion: int = 0
+    dropped_forced: int = 0
+    dropped_buffer: int = 0
+    ho_enqueued: int = 0
+    ho_dropped: int = 0
+    acks_dropped: int = 0
+    ecn_marked: int = 0
+
+
+class Switch:
+    """An output-queued switch; see module docstring."""
+
+    def __init__(self, sim: Simulator, switch_id: int, config: SwitchConfig,
+                 load_balancer, name: str = "") -> None:
+        self.sim = sim
+        self.switch_id = switch_id
+        self.config = config
+        self.lb = load_balancer
+        self.name = name or f"switch{switch_id}"
+        self.stats = SwitchStats()
+        self._loss_rng = random.Random(config.loss_seed ^ (switch_id * 7919))
+        data_cap = config.effective_data_queue_bytes()
+        self.ports: list[EgressPort] = []
+        self.ecn_markers: list[Optional[EcnMarker]] = []
+        for i in range(config.num_ports):
+            data_q = ByteQueue(f"{self.name}.p{i}.data", capacity_bytes=data_cap)
+            ctrl_q = ByteQueue(f"{self.name}.p{i}.ctrl",
+                               capacity_bytes=config.control_queue_bytes)
+            sched = WrrScheduler([data_q, ctrl_q], [1.0, config.wrr_weight])
+            rate = config.per_port_rate.get(i, config.rate_bits_per_ns)
+            port = EgressPort(sim, rate, [data_q, ctrl_q], scheduler=sched,
+                              on_dequeue=self._on_dequeue,
+                              name=f"{self.name}.p{i}")
+            self.ports.append(port)
+            if config.red is not None:
+                self.ecn_markers.append(
+                    EcnMarker(config.red,
+                              random.Random(config.loss_seed ^ (switch_id * 31 + i))))
+            else:
+                self.ecn_markers.append(None)
+        # dst host id -> candidate egress port indices
+        self.routing_table: dict[int, list[int]] = {}
+        # in_port -> (neighbour device, neighbour's port index facing us)
+        self.neighbors: dict[int, tuple[object, int]] = {}
+        self.pfc: Optional[PfcController] = None
+        if config.pfc is not None:
+            self.pfc = PfcController(sim, config.num_ports, config.pfc,
+                                     self._send_pfc_frame)
+        self.buffered_bytes = 0
+
+    # ------------------------------------------------------------- wiring
+    def attach(self, port_idx: int, link: Link, neighbor, neighbor_port: int) -> None:
+        """Connect egress ``port_idx`` to ``link`` toward ``neighbor``."""
+        self.ports[port_idx].link = link
+        self.neighbors[port_idx] = (neighbor, neighbor_port)
+
+    def add_route(self, dst: int, port_idx: int) -> None:
+        self.routing_table.setdefault(dst, []).append(port_idx)
+
+    # ------------------------------------------------------------ receive
+    def receive(self, packet: Packet, in_port: int) -> None:
+        """Ingress pipeline: PFC control, routing/LB, egress enqueue."""
+        if packet.kind is PacketKind.PAUSE:
+            self.ports[in_port].pause(DATA_CLASS)
+            return
+        if packet.kind is PacketKind.RESUME:
+            self.ports[in_port].resume(DATA_CLASS)
+            return
+        candidates = self.routing_table.get(packet.dst)
+        if not candidates:
+            raise KeyError(f"{self.name}: no route to host {packet.dst}")
+        egress = self.lb.pick(self, packet, candidates)
+        self.enqueue_egress(packet, egress, in_port)
+
+    # ------------------------------------------------------------ enqueue
+    def enqueue_egress(self, packet: Packet, egress: int, in_port: int) -> None:
+        port = self.ports[egress]
+        data_q = port.queues[DATA_CLASS]
+
+        if packet.kind is PacketKind.HO:
+            self._enqueue_control(packet, port, in_port)
+            return
+
+        # Forced loss injection (Fig 10/17 testbed methodology).
+        if (self.config.loss_rate > 0.0 and packet.kind is PacketKind.DATA
+                and self._loss_rng.random() < self.config.loss_rate):
+            if self.config.enable_trimming and packet.dcp_tag is DcpTag.DCP_DATA:
+                packet.trim()
+                self.stats.trimmed += 1
+                trace.emit(self.sim.now, "trim", self.name,
+                           flow_id=packet.flow_id, psn=packet.psn)
+                self._enqueue_control(packet, port, in_port)
+            else:
+                self.stats.dropped_forced += 1
+                trace.emit(self.sim.now, "drop", self.name,
+                           flow_id=packet.flow_id, psn=packet.psn,
+                           reason="forced")
+            return
+
+        # DCP packet trimming module (§4.2).
+        if (self.config.enable_trimming
+                and data_q.bytes > self.config.trim_threshold_bytes):
+            if packet.dcp_tag is DcpTag.DCP_DATA:
+                packet.trim()
+                self.stats.trimmed += 1
+                trace.emit(self.sim.now, "trim", self.name,
+                           flow_id=packet.flow_id, psn=packet.psn)
+                self._enqueue_control(packet, port, in_port)
+            else:
+                if packet.dcp_tag is DcpTag.DCP_ACK:
+                    self.stats.acks_dropped += 1
+                self.stats.dropped_congestion += 1
+                trace.emit(self.sim.now, "drop", self.name,
+                           flow_id=packet.flow_id, psn=packet.psn,
+                           reason="congestion")
+            return
+
+        # Shared-buffer admission.
+        if self.buffered_bytes + packet.size_bytes > self.config.buffer_bytes:
+            self.stats.dropped_buffer += 1
+            return
+
+        marker = self.ecn_markers[egress]
+        if marker is not None and packet.kind is PacketKind.DATA:
+            if marker.maybe_mark(packet, data_q.bytes):
+                self.stats.ecn_marked += 1
+
+        packet.ingress_hint = in_port
+        if data_q.would_overflow(packet):
+            self.stats.dropped_congestion += 1
+            return
+        self.buffered_bytes += packet.size_bytes
+        if self.pfc is not None:
+            self.pfc.charge(in_port, packet)
+        port.enqueue(packet, DATA_CLASS)
+        self.stats.forwarded += 1
+
+    def _enqueue_control(self, packet: Packet, port: EgressPort, in_port: int) -> None:
+        """Enqueue an HO packet into the (prioritized) control queue."""
+        ctrl_q = port.queues[CONTROL_CLASS]
+        if (ctrl_q.would_overflow(packet)
+                or self.buffered_bytes + packet.size_bytes > self.config.buffer_bytes):
+            # "HO packet loss is very rare" (footnote 1) but not impossible:
+            # count it so Table 5 can measure the loss ratio.
+            self.stats.ho_dropped += 1
+            return
+        packet.ingress_hint = in_port
+        self.buffered_bytes += packet.size_bytes
+        if self.pfc is not None:
+            self.pfc.charge(in_port, packet)
+        port.enqueue(packet, CONTROL_CLASS)
+        self.stats.ho_enqueued += 1
+
+    # ------------------------------------------------------------ dequeue
+    def _on_dequeue(self, packet: Packet) -> None:
+        self.buffered_bytes -= packet.size_bytes
+        if self.pfc is not None:
+            self.pfc.release(packet.ingress_hint, packet)
+        packet.ingress_hint = -1
+
+    def _send_pfc_frame(self, in_port: int, frame: Packet) -> None:
+        """Deliver a PAUSE/RESUME to the neighbour behind ``in_port``.
+
+        Control frames bypass queueing; they only see propagation delay.
+        """
+        neighbor_info = self.neighbors.get(in_port)
+        if neighbor_info is None:
+            return
+        neighbor, their_port = neighbor_info
+        link = self.ports[in_port].link
+        delay = link.prop_delay_ns if link is not None else 0
+        self.sim.schedule(delay, lambda: neighbor.receive(frame, their_port))
+
+    # -------------------------------------------------------------- stats
+    def queue_bytes(self, egress: int) -> int:
+        return self.ports[egress].buffered_bytes
+
+    def total_drops(self) -> int:
+        s = self.stats
+        return s.dropped_congestion + s.dropped_forced + s.dropped_buffer

@@ -1,0 +1,503 @@
+"""Common RNIC machinery shared by every transport.
+
+The model mirrors the microarchitecture described in §4.3 of the paper:
+
+* a **QP scheduler** round-robins among active QPs, giving each QP up to
+  ``round_quota`` bytes per scheduling round (fetch-and-drop WQE
+  handling is abstracted to this quota);
+* the NIC transmitter *pulls* packets from the transport
+  (:meth:`RnicTransport.poll_tx`), so per-QP congestion-control pacing
+  and window checks happen at wire-pull time, like hardware;
+* receivers push protocol responses (ACK/SACK/NAK/CNP, turned-around HO
+  packets) into a small control FIFO served with strict priority.
+
+Transports subclass :class:`RnicTransport` and implement the sender and
+receiver state machines.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cc.base import CongestionControl, StaticWindowCc
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import CancelledToken, Entity, Simulator
+from repro.sim.units import serialization_ns
+
+_qpn_counter = itertools.count(1)
+_flow_counter = itertools.count(1)
+
+
+@dataclass
+class TransportConfig:
+    """Knobs shared by all transports (DCP-specific ones included)."""
+
+    mtu_payload: int = 1000              # payload bytes per packet (1 KB MTU)
+    max_message_bytes: int = 256_000     # flows split into <=this WQEs (NCCL-style)
+    window_bytes: int = 125_000          # default BDP window (100G x 10us)
+    rto_ns: int = 2_000_000              # retransmission timeout (RTO_high)
+    rto_low_ns: int = 300_000            # IRN's RTO_low for few outstanding pkts
+    rto_low_threshold_pkts: int = 3
+    ack_every_packet: bool = True
+    # --- DCP (§4.3, §4.5) -------------------------------------------------
+    pcie_rtt_ns: int = 1_000             # host <-> RNIC round trip
+    retrans_batch: int = 16              # RetransQ entries fetched per batch
+    round_quota_bytes: int = 16_384      # per-QP scheduling round quota
+    wqe_fetch_n: int = 8
+    coarse_timeout_ns: int = 4_000_000   # DCP fallback timer (§4.5)
+    dcp_naive_retrans: bool = False      # ablation: per-HO fetch (2 PCIe RTs each)
+    # --- misc --------------------------------------------------------------
+    cnp_interval_ns: int = 50_000        # DCQCN receiver CNP moderation
+    debug_oracle: bool = False           # ground-truth exactly-once checking
+
+
+@dataclass
+class FlowStats:
+    """Counters accumulated per flow; consumed by the analysis layer."""
+
+    data_pkts_sent: int = 0
+    retx_pkts_sent: int = 0
+    timeouts: int = 0
+    acks_received: int = 0
+    trims_seen: int = 0                  # HO packets that came back (DCP)
+    dup_pkts_received: int = 0           # receiver-side duplicates
+
+
+class Flow:
+    """One unidirectional transfer (what the paper calls a flow).
+
+    FCT is measured receiver-side: the flow completes when the last
+    payload byte has been written to application memory.
+    """
+
+    def __init__(self, src: int, dst: int, size_bytes: int, start_ns: int,
+                 flow_id: Optional[int] = None, tag: str = "") -> None:
+        self.flow_id = flow_id if flow_id is not None else next(_flow_counter)
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.start_ns = start_ns
+        self.tag = tag
+        self.rx_complete_ns: Optional[int] = None
+        self.tx_complete_ns: Optional[int] = None
+        self.rx_bytes = 0
+        self.stats = FlowStats()
+        self.on_complete: Optional[Callable[["Flow"], None]] = None
+
+    def deliver(self, payload_bytes: int, now_ns: int) -> None:
+        """Receiver-side: payload written to application memory.
+
+        Fires ``on_complete`` exactly once, when the last byte lands.
+        """
+        self.rx_bytes += payload_bytes
+        if self.rx_complete_ns is None and self.rx_bytes >= self.size_bytes:
+            self.rx_complete_ns = now_ns
+            if self.on_complete is not None:
+                self.on_complete(self)
+
+    @property
+    def completed(self) -> bool:
+        return self.rx_complete_ns is not None
+
+    def fct_ns(self) -> int:
+        if self.rx_complete_ns is None:
+            raise ValueError(f"flow {self.flow_id} has not completed")
+        return self.rx_complete_ns - self.start_ns
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = f"done@{self.rx_complete_ns}" if self.completed else "active"
+        return f"Flow({self.flow_id} {self.src}->{self.dst} {self.size_bytes}B {state})"
+
+
+class Message:
+    """One work request (WQE) posted to a QP's send queue."""
+
+    __slots__ = ("msn", "ssn", "flow", "size_bytes", "num_pkts", "base_psn",
+                 "acked", "completed_rx", "op", "wr_id")
+
+    def __init__(self, msn: int, ssn: int, flow: Flow, size_bytes: int,
+                 num_pkts: int, base_psn: int) -> None:
+        self.msn = msn
+        self.ssn = ssn
+        self.flow = flow
+        self.size_bytes = size_bytes
+        self.num_pkts = num_pkts
+        self.base_psn = base_psn
+        self.acked = False
+        self.completed_rx = False
+        self.op = None          # RdmaOp, set by the verbs layer
+        self.wr_id = 0
+
+    def payload_of(self, offset_pkts: int, mtu_payload: int) -> int:
+        """Payload size of packet ``offset_pkts`` within this message."""
+        if offset_pkts < 0 or offset_pkts >= self.num_pkts:
+            raise IndexError(f"packet {offset_pkts} outside message of "
+                             f"{self.num_pkts} packets")
+        if offset_pkts < self.num_pkts - 1:
+            return mtu_payload
+        rem = self.size_bytes - (self.num_pkts - 1) * mtu_payload
+        return rem
+
+
+class QueuePair:
+    """A reliable connection endpoint.
+
+    The same object carries both the sender-side send queue and a
+    ``rx`` dictionary for receiver-side per-transport state.
+    """
+
+    def __init__(self, host_id: int, peer_host_id: int,
+                 cc: Optional[CongestionControl] = None) -> None:
+        self.qpn = next(_qpn_counter)
+        self.peer_qpn = -1
+        self.host_id = host_id
+        self.peer_host_id = peer_host_id
+        self.cc = cc or StaticWindowCc(window_bytes=1 << 30)
+        # --- sender state -------------------------------------------------
+        self.send_queue: deque[Message] = deque()
+        self.messages: dict[int, Message] = {}
+        self.next_msn = 0
+        self.next_psn = 0
+        self.posted_bytes = 0
+        self.outstanding_bytes = 0
+        self.next_send_ns = 0            # pacing gate
+        self.round_bytes_left = 0        # QP-scheduler round quota
+        self.entropy = 0                 # default path entropy (ECMP)
+        # --- generic receiver state ----------------------------------------
+        self.rx: dict = {}
+
+    def post(self, flow: Flow, size_bytes: int, mtu_payload: int) -> Message:
+        """Append a message to the send queue (one WQE)."""
+        num_pkts = max(1, -(-size_bytes // mtu_payload))
+        msg = Message(self.next_msn, self.next_msn, flow, size_bytes,
+                      num_pkts, self.next_psn)
+        self.next_msn += 1
+        self.next_psn += num_pkts
+        self.posted_bytes += size_bytes
+        self.send_queue.append(msg)
+        self.messages[msg.msn] = msg
+        return msg
+
+    def psn_to_message(self, psn: int) -> Message:
+        """Locate the message containing ``psn`` (binary search by base)."""
+        # Messages are created with monotonically increasing base_psn, so a
+        # linear scan from the end is fine for the handful of outstanding
+        # messages RNICs track (NCCL posts ~8 per QP, §4.5).
+        for msg in reversed(self.messages.values()):
+            if msg.base_psn <= psn < msg.base_psn + msg.num_pkts:
+                return msg
+        raise KeyError(f"PSN {psn} not found on QP {self.qpn}")
+
+
+class RestartableTimer:
+    """A cancel-and-reschedule timer built on simulator events."""
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
+        self.sim = sim
+        self.callback = callback
+        self._token: Optional[CancelledToken] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._token is not None and not self._token.cancelled
+
+    def restart(self, delay_ns: int) -> None:
+        self.cancel()
+        self._token = self.sim.schedule(delay_ns, self._fire)
+
+    def cancel(self) -> None:
+        if self._token is not None:
+            self._token.cancel()
+            self._token = None
+
+    def _fire(self) -> None:
+        self._token = None
+        self.callback()
+
+
+class HostNic:
+    """The wire-side transmitter of a host.
+
+    Control responses (ACKs, CNPs, turned-around HO packets) sit in a
+    strict-priority FIFO; data packets are pulled from the transport on
+    demand, so CC decisions are made at the moment the wire frees up.
+    """
+
+    def __init__(self, sim: Simulator, rate_bits_per_ns: float,
+                 name: str = "nic") -> None:
+        self.sim = sim
+        self.rate = rate_bits_per_ns
+        self.name = name
+        self.link = None
+        self.source = None               # the transport (poll_tx provider)
+        self.ctrl: deque[Packet] = deque()
+        self.busy = False
+        self.paused = False
+        self.tx_packets = 0
+        self.tx_bytes = 0
+
+    def bind(self, source) -> None:
+        self.source = source
+
+    def send_control(self, packet: Packet) -> None:
+        self.ctrl.append(packet)
+        self.kick()
+
+    def pause(self) -> None:
+        self.paused = True
+
+    def resume(self) -> None:
+        self.paused = False
+        self.kick()
+
+    def kick(self) -> None:
+        """Try to put the next packet on the wire."""
+        if self.busy or self.paused or self.link is None:
+            return
+        packet: Optional[Packet] = None
+        if self.ctrl:
+            packet = self.ctrl.popleft()
+        elif self.source is not None:
+            packet = self.source.poll_tx()
+        if packet is None:
+            return
+        self.busy = True
+        ser = serialization_ns(packet.size_bytes, self.rate)
+        self.sim.schedule(ser, lambda p=packet: self._tx_done(p))
+
+    def _tx_done(self, packet: Packet) -> None:
+        self.busy = False
+        self.tx_packets += 1
+        self.tx_bytes += packet.size_bytes
+        self.link.deliver(packet)
+        self.kick()
+
+
+class RnicTransport(Entity):
+    """Base class for all transports (GBN, IRN, MP-RDMA, DCP, ...).
+
+    Subclasses implement:
+
+    * :meth:`_qp_next_packet` — the sender state machine: the next packet
+      this QP wants on the wire, or None;
+    * :meth:`_qp_has_work` — whether the QP should stay in the scheduler;
+    * ``_on_data`` / ``_on_ack`` / other receive handlers.
+    """
+
+    #: True when the transport speaks the DCP wire format (tagged packets).
+    dcp_wire = False
+    name = "base"
+
+    def __init__(self, sim: Simulator, host_id: int, config: TransportConfig) -> None:
+        super().__init__(sim)
+        self.host_id = host_id
+        self.config = config
+        self.nic: Optional[HostNic] = None
+        self.qps: dict[int, QueuePair] = {}
+        self._rr: deque[QueuePair] = deque()
+        self._rr_member: set[int] = set()
+        self._kick_token: Optional[CancelledToken] = None
+        self.total_retransmits = 0
+        self.total_timeouts = 0
+        #: flow_id -> Flow for flows whose data this host receives.
+        self.rx_flows: dict[int, Flow] = {}
+
+    # ------------------------------------------------------------- wiring
+    def attach_nic(self, nic: HostNic) -> None:
+        self.nic = nic
+        nic.bind(self)
+
+    def register_qp(self, qp: QueuePair) -> None:
+        self.qps[qp.qpn] = qp
+
+    @staticmethod
+    def connect(a: "RnicTransport", b: "RnicTransport",
+                cc_a: Optional[CongestionControl] = None,
+                cc_b: Optional[CongestionControl] = None) -> tuple[QueuePair, QueuePair]:
+        """Create a connected QP pair between two transports.
+
+        Without an explicit CC module each side gets the configured
+        static window (IRN-style BDP flow control).
+        """
+        if cc_a is None:
+            cc_a = StaticWindowCc(window_bytes=a.config.window_bytes)
+        if cc_b is None:
+            cc_b = StaticWindowCc(window_bytes=b.config.window_bytes)
+        qa = QueuePair(a.host_id, b.host_id, cc_a)
+        qb = QueuePair(b.host_id, a.host_id, cc_b)
+        qa.peer_qpn, qb.peer_qpn = qb.qpn, qa.qpn
+        qa.entropy = qa.qpn
+        qb.entropy = qb.qpn
+        a.register_qp(qa)
+        b.register_qp(qb)
+        return qa, qb
+
+    # ------------------------------------------------------------ sending
+    def post_message(self, qp: QueuePair, flow: Flow, size_bytes: int) -> Message:
+        """verbs post_send: queue a message and wake the transmitter."""
+        msg = qp.post(flow, size_bytes, self.config.mtu_payload)
+        self._activate(qp)
+        return msg
+
+    def post_flow(self, qp: QueuePair, flow: Flow) -> list[Message]:
+        """Post a whole flow as a train of messages (WQEs).
+
+        Upper layers (NCCL and friends) split transfers into messages of
+        a few hundred KB to MB; splitting matters to transports with
+        message-granular acknowledgments (DCP's eMSN).
+        """
+        chunk = max(self.config.mtu_payload, self.config.max_message_bytes)
+        remaining = flow.size_bytes
+        messages = []
+        while remaining > 0:
+            part = min(chunk, remaining)
+            messages.append(self.post_message(qp, flow, part))
+            remaining -= part
+        return messages
+
+    def _activate(self, qp: QueuePair) -> None:
+        if qp.qpn not in self._rr_member:
+            self._rr.append(qp)
+            self._rr_member.add(qp.qpn)
+        if self.nic is not None:
+            self.nic.kick()
+
+    def poll_tx(self) -> Optional[Packet]:
+        """NIC pull: next packet from the QP scheduler, or None."""
+        now = self.now
+        earliest_gate: Optional[int] = None
+        for _ in range(len(self._rr)):
+            qp = self._rr[0]
+            if not self._qp_has_work(qp):
+                self._rr.popleft()
+                self._rr_member.discard(qp.qpn)
+                continue
+            if qp.next_send_ns > now:
+                earliest_gate = (qp.next_send_ns if earliest_gate is None
+                                 else min(earliest_gate, qp.next_send_ns))
+                self._rr.rotate(-1)
+                continue
+            packet = self._qp_next_packet(qp)
+            if packet is None:
+                self._rr.rotate(-1)
+                continue
+            gap = qp.cc.pacing_delay_ns(packet.size_bytes)
+            if gap > 0:
+                qp.next_send_ns = now + gap
+            qp.round_bytes_left -= packet.size_bytes
+            if qp.round_bytes_left <= 0:
+                qp.round_bytes_left = self.config.round_quota_bytes
+                self._rr.rotate(-1)
+            return packet
+        if earliest_gate is not None:
+            self._schedule_kick(earliest_gate)
+        return None
+
+    def _schedule_kick(self, at_ns: int) -> None:
+        """Wake the NIC at ``at_ns`` (coalescing duplicate wakeups)."""
+        if self._kick_token is not None and not self._kick_token.cancelled:
+            return
+        delay = max(0, at_ns - self.now)
+        self._kick_token = self.sim.schedule(delay, self._kick_now)
+
+    def _kick_now(self) -> None:
+        self._kick_token = None
+        if self.nic is not None:
+            self.nic.kick()
+
+    # ----------------------------------------------------------- receiving
+    def on_packet(self, packet: Packet) -> None:
+        """Dispatch an arriving packet to the protocol handler."""
+        qp = self.qps.get(packet.qpn)
+        if qp is None:
+            return  # stale packet for a destroyed QP
+        kind = packet.kind
+        if kind is PacketKind.DATA:
+            self._on_data(qp, packet)
+        elif kind is PacketKind.ACK:
+            self._on_ack(qp, packet)
+        elif kind is PacketKind.SACK:
+            self._on_sack(qp, packet)
+        elif kind is PacketKind.NAK:
+            self._on_nak(qp, packet)
+        elif kind is PacketKind.HO:
+            self._on_ho(qp, packet)
+        elif kind is PacketKind.CNP:
+            qp.cc.on_cnp(self.now)
+        else:  # pragma: no cover - PAUSE handled at the host
+            raise ValueError(f"unexpected packet kind {kind}")
+
+    # --- handlers subclasses override ------------------------------------
+    def _qp_next_packet(self, qp: QueuePair) -> Optional[Packet]:
+        raise NotImplementedError
+
+    def _qp_has_work(self, qp: QueuePair) -> bool:
+        raise NotImplementedError
+
+    def _on_data(self, qp: QueuePair, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def _on_ack(self, qp: QueuePair, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def _on_sack(self, qp: QueuePair, packet: Packet) -> None:
+        raise NotImplementedError("this transport does not use SACK")
+
+    def _on_nak(self, qp: QueuePair, packet: Packet) -> None:
+        raise NotImplementedError("this transport does not use NAK")
+
+    def _on_ho(self, qp: QueuePair, packet: Packet) -> None:
+        raise NotImplementedError("this transport does not use HO packets")
+
+    def expect_flow(self, flow: Flow) -> None:
+        """Register a flow whose data this host will receive."""
+        self.rx_flows[flow.flow_id] = flow
+
+    def maybe_send_cnp(self, qp: QueuePair, packet: Packet) -> None:
+        """Echo an ECN mark as a CNP, rate-limited per QP (DCQCN)."""
+        if not packet.ecn_ce:
+            return
+        last = qp.rx.get("last_cnp_ns", -1 << 60)
+        if self.now - last < self.config.cnp_interval_ns:
+            return
+        qp.rx["last_cnp_ns"] = self.now
+        from repro.net.packet import make_cnp
+        cnp = make_cnp(self.host_id, qp.peer_host_id, flow_id=packet.flow_id,
+                       qpn=qp.peer_qpn, src_qpn=qp.qpn, dcp=self.dcp_wire)
+        self.nic.send_control(cnp)
+
+    def flow_of(self, packet: Packet) -> Optional[Flow]:
+        """Resolve the flow a received data packet belongs to."""
+        return self.rx_flows.get(packet.flow_id)
+
+    # ------------------------------------------------------------- stats
+    def count_retransmit(self, flow: Flow) -> None:
+        flow.stats.retx_pkts_sent += 1
+        self.total_retransmits += 1
+
+    def count_timeout(self, flow: Flow) -> None:
+        flow.stats.timeouts += 1
+        self.total_timeouts += 1
+
+
+class Host(Entity):
+    """A server: one NIC, one transport, application callbacks."""
+
+    def __init__(self, sim: Simulator, host_id: int, nic: HostNic,
+                 transport: RnicTransport) -> None:
+        super().__init__(sim)
+        self.host_id = host_id
+        self.nic = nic
+        self.transport = transport
+        transport.attach_nic(nic)
+
+    def receive(self, packet: Packet, in_port: int) -> None:
+        if packet.kind is PacketKind.PAUSE:
+            self.nic.pause()
+        elif packet.kind is PacketKind.RESUME:
+            self.nic.resume()
+        else:
+            self.transport.on_packet(packet)

@@ -1,0 +1,175 @@
+"""A verbs-flavoured API over the simulated RNICs (§4.4 semantics).
+
+The paper extends the RDMA header so that one-sided *and* two-sided
+operations tolerate out-of-order arrival:
+
+* **Write** — RETH (remote address) in *every* packet, so any packet
+  can be placed without the first-packet state;
+* **Send / Write-with-Immediate** — two-sided: each message consumes a
+  Receive WQE at the responder *in posting order*; the SSN carried in
+  the packets selects the right Receive WQE even when messages complete
+  out of order.
+
+This module provides the thin, user-facing layer: ``create_qp``,
+``post_recv``, ``post_send`` and ``poll_cq``, with completion-queue
+entries generated in eMSN order, matching the paper's "messages are
+completed in order" application contract (§4.5).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.rnic.base import Flow, Message, QueuePair, RnicTransport
+
+
+class RdmaOp(enum.Enum):
+    """Operation kinds handled by the §4.4 header extension."""
+
+    WRITE = "write"            # one-sided; no Receive WQE, no responder CQE
+    SEND = "send"              # two-sided
+    WRITE_IMM = "write_imm"    # one-sided data + two-sided notification
+
+
+@dataclass(frozen=True)
+class CompletionEntry:
+    """A CQE as seen by the application."""
+
+    qpn: int
+    msn: int
+    ssn: int
+    op: RdmaOp
+    byte_len: int
+    wr_id: int
+    is_recv: bool
+    timestamp_ns: int
+
+
+@dataclass
+class _RecvWqe:
+    wr_id: int
+    byte_len: int
+
+
+class VerbsEndpoint:
+    """Application-facing endpoint wrapping one transport."""
+
+    def __init__(self, transport: RnicTransport) -> None:
+        self.transport = transport
+        self.send_cq: deque[CompletionEntry] = deque()
+        self.recv_cq: deque[CompletionEntry] = deque()
+        self._recv_queues: dict[int, deque[_RecvWqe]] = {}
+        self._rnr_drops = 0
+
+    # ------------------------------------------------------------ wiring
+    @staticmethod
+    def connect(a: "VerbsEndpoint", b: "VerbsEndpoint",
+                cc_a=None, cc_b=None) -> tuple[QueuePair, QueuePair]:
+        """Create a connected QP pair between two endpoints."""
+        qa, qb = RnicTransport.connect(a.transport, b.transport, cc_a, cc_b)
+        a._recv_queues[qa.qpn] = deque()
+        b._recv_queues[qb.qpn] = deque()
+        return qa, qb
+
+    # --------------------------------------------------------------- API
+    def post_recv(self, qp: QueuePair, byte_len: int, wr_id: int = 0) -> None:
+        """Post a Receive WQE (consumed by SEND/WRITE_IMM in SSN order)."""
+        self._recv_queues.setdefault(qp.qpn, deque()).append(
+            _RecvWqe(wr_id=wr_id, byte_len=byte_len))
+
+    def post_send(self, qp: QueuePair, size_bytes: int,
+                  op: RdmaOp = RdmaOp.WRITE, wr_id: int = 0,
+                  flow: Optional[Flow] = None) -> Flow:
+        """Post a send work request; returns the Flow tracking it.
+
+        The peer endpoint must be registered as the flow's receiver by
+        the caller (or use :meth:`rpc` below, which does both sides).
+        """
+        if flow is None:
+            flow = Flow(self.transport.host_id, qp.peer_host_id, size_bytes,
+                        self.transport.now)
+        messages = self.transport.post_flow(qp, flow)
+        for msg in messages:
+            msg.op = op
+            msg.wr_id = wr_id
+        self._watch_completion(qp, flow, messages, op, wr_id)
+        return flow
+
+    def transfer(self, peer: "VerbsEndpoint", qp: QueuePair,
+                 size_bytes: int, op: RdmaOp = RdmaOp.WRITE,
+                 wr_id: int = 0) -> Flow:
+        """Convenience: post a send here and register reception there."""
+        flow = Flow(self.transport.host_id, qp.peer_host_id, size_bytes,
+                    self.transport.now)
+        peer.transport.expect_flow(flow)
+        if op in (RdmaOp.SEND, RdmaOp.WRITE_IMM):
+            peer_qpn = qp.peer_qpn
+            flow.on_complete = self._chain(
+                flow.on_complete,
+                lambda f, p=peer, q=peer_qpn, o=op: p._on_message_arrival(
+                    q, f, o, f.size_bytes))
+        return self.post_send(qp, size_bytes, op=op, wr_id=wr_id, flow=flow)
+
+    def poll_cq(self, which: str = "send", max_entries: int = 16
+                ) -> list[CompletionEntry]:
+        """Drain up to ``max_entries`` completions ('send' or 'recv')."""
+        cq = self.send_cq if which == "send" else self.recv_cq
+        out = []
+        while cq and len(out) < max_entries:
+            out.append(cq.popleft())
+        return out
+
+    @property
+    def rnr_drops(self) -> int:
+        """Messages that arrived with no Receive WQE posted (RNR)."""
+        return self._rnr_drops
+
+    # ---------------------------------------------------------- internals
+    @staticmethod
+    def _chain(first, second):
+        if first is None:
+            return second
+
+        def chained(flow):
+            first(flow)
+            second(flow)
+
+        return chained
+
+    def _watch_completion(self, qp: QueuePair, flow: Flow,
+                          messages: list[Message], op: RdmaOp,
+                          wr_id: int) -> None:
+        """Emit a send-side CQE when the flow is fully acknowledged."""
+        original = flow.on_complete
+
+        def on_complete(f: Flow) -> None:
+            if original is not None:
+                original(f)
+            self.send_cq.append(CompletionEntry(
+                qpn=qp.qpn, msn=messages[-1].msn, ssn=messages[-1].ssn,
+                op=op, byte_len=f.size_bytes, wr_id=wr_id, is_recv=False,
+                timestamp_ns=self.transport.now))
+
+        flow.on_complete = on_complete
+
+    def _on_message_arrival(self, qpn: int, flow: Flow, op: RdmaOp,
+                            byte_len: int) -> None:
+        """Receiver side of a two-sided op: consume the next Receive WQE.
+
+        Receive WQEs are consumed in posting order; the SSN in the
+        packets guarantees the match stays correct even when transfers
+        complete out of order, because CQEs are only generated once eMSN
+        (and thus SSN order) advances.
+        """
+        rq = self._recv_queues.get(qpn)
+        if not rq:
+            self._rnr_drops += 1
+            return
+        wqe = rq.popleft()
+        self.recv_cq.append(CompletionEntry(
+            qpn=qpn, msn=-1, ssn=-1, op=op, byte_len=byte_len,
+            wr_id=wqe.wr_id, is_recv=True,
+            timestamp_ns=self.transport.now))

@@ -1,0 +1,14 @@
+"""Discrete-event simulation substrate (clock, events, RNG, units)."""
+
+from repro.sim.engine import CancelledToken, Entity, Simulator, run_until_quiet
+from repro.sim.rng import SeedSequence
+from repro.sim import units
+
+__all__ = [
+    "CancelledToken",
+    "Entity",
+    "Simulator",
+    "SeedSequence",
+    "run_until_quiet",
+    "units",
+]

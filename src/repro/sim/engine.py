@@ -1,0 +1,153 @@
+"""Discrete-event simulation engine.
+
+The whole reproduction is built on this engine.  It is deliberately
+minimal: a binary heap of ``(time, sequence, callback)`` entries and an
+integer-nanosecond clock.  Callbacks are plain callables; there is no
+coroutine machinery, which keeps the per-event overhead low enough for
+packet-level simulation in pure Python.
+
+Times are integers in nanoseconds.  Helper constants for common units
+live in :mod:`repro.sim.units`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class CancelledToken:
+    """Handle for a scheduled event that allows cancellation.
+
+    Cancellation is lazy: the entry stays in the heap but is skipped when
+    popped.  This is the standard approach for heap-based schedulers and
+    keeps :meth:`Simulator.schedule` O(log n).
+    """
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator discards it when due."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Heap-based discrete-event simulator with an integer clock.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule(1_000, lambda: print("one microsecond"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, CancelledToken, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._running = False
+        self.events_processed = 0
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> CancelledToken:
+        """Schedule ``callback`` to run ``delay`` ns from now.
+
+        Returns a :class:`CancelledToken` usable to cancel the event.
+        A negative delay is an error: the simulator never travels back in
+        time.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        token = CancelledToken()
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), token, callback))
+        return token
+
+    def schedule_at(self, when: int, callback: Callable[[], None]) -> CancelledToken:
+        """Schedule ``callback`` at absolute time ``when`` (ns)."""
+        return self.schedule(when - self.now, callback)
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next pending (non-cancelled) event, or None."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False when idle."""
+        while self._heap:
+            when, _seq, token, callback = heapq.heappop(self._heap)
+            if token.cancelled:
+                continue
+            self.now = when
+            self.events_processed += 1
+            callback()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the heap empties, ``until`` is reached, or
+        ``max_events`` have been processed.
+
+        ``until`` is an absolute time in ns; events scheduled exactly at
+        ``until`` are executed.  On return ``self.now`` is the time of the
+        last executed event (or ``until`` if provided and reached).
+        """
+        self._running = True
+        processed = 0
+        heap = self._heap
+        pop = heapq.heappop
+        try:
+            # Tight inner loop: one heap pop per event, no helper calls.
+            while heap:
+                if max_events is not None and processed >= max_events:
+                    break
+                when, _seq, token, callback = heap[0]
+                if token.cancelled:
+                    pop(heap)
+                    continue
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                pop(heap)
+                self.now = when
+                self.events_processed += 1
+                processed += 1
+                callback()
+            else:
+                if until is not None and self.now < until:
+                    self.now = until
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._heap)
+
+
+class Entity:
+    """Base class for simulated objects that need the shared clock.
+
+    Subclasses get ``self.sim`` plus :meth:`after` as a small convenience
+    wrapper around :meth:`Simulator.schedule`.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    def after(self, delay: int, callback: Callable[[], None]) -> CancelledToken:
+        return self.sim.schedule(delay, callback)
+
+
+def run_until_quiet(sim: Simulator, guard: Callable[[], Any] = None,
+                    max_events: int = 200_000_000) -> None:
+    """Drain the simulator completely (convenience for tests)."""
+    sim.run(max_events=max_events)
+    if guard is not None:
+        guard()

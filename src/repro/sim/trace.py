@@ -1,0 +1,84 @@
+"""Lightweight event tracing for debugging and per-flow timelines.
+
+A :class:`Tracer` collects structured records (packet sent/received/
+dropped/trimmed, timer fired, ...) that components emit through the
+module-level :func:`emit` hook.  Tracing is off by default and costs a
+single global ``None`` check per emit call when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time_ns: int
+    category: str          # e.g. "tx", "rx", "trim", "drop", "timer"
+    actor: str             # component name
+    detail: dict[str, Any]
+
+
+class Tracer:
+    """Collects trace records, optionally filtered by category/flow."""
+
+    def __init__(self, categories: Optional[set[str]] = None,
+                 flow_ids: Optional[set[int]] = None,
+                 max_records: int = 1_000_000) -> None:
+        self.categories = categories
+        self.flow_ids = flow_ids
+        self.max_records = max_records
+        self.records: list[TraceRecord] = []
+        self.dropped_records = 0
+
+    def emit(self, time_ns: int, category: str, actor: str,
+             **detail: Any) -> None:
+        if self.categories is not None and category not in self.categories:
+            return
+        if (self.flow_ids is not None
+                and detail.get("flow_id") not in self.flow_ids):
+            return
+        if len(self.records) >= self.max_records:
+            self.dropped_records += 1
+            return
+        self.records.append(TraceRecord(time_ns, category, actor, detail))
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def flow_timeline(self, flow_id: int) -> list[TraceRecord]:
+        return [r for r in self.records
+                if r.detail.get("flow_id") == flow_id]
+
+    def format(self, limit: int = 50) -> str:
+        lines = []
+        for r in self.records[:limit]:
+            detail = " ".join(f"{k}={v}" for k, v in r.detail.items())
+            lines.append(f"{r.time_ns:>12} ns  {r.category:<6} {r.actor:<16} "
+                         f"{detail}")
+        if len(self.records) > limit:
+            lines.append(f"... {len(self.records) - limit} more records")
+        return "\n".join(lines)
+
+
+#: The active tracer; None disables tracing entirely.
+_active: Optional[Tracer] = None
+
+
+def install(tracer: Optional[Tracer]) -> None:
+    """Set (or clear, with None) the process-wide tracer."""
+    global _active
+    _active = tracer
+
+
+def active() -> Optional[Tracer]:
+    return _active
+
+
+def emit(time_ns: int, category: str, actor: str, **detail: Any) -> None:
+    """Emit a record if tracing is enabled (cheap no-op otherwise)."""
+    if _active is not None:
+        _active.emit(time_ns, category, actor, **detail)

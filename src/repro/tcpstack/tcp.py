@@ -1,0 +1,212 @@
+"""A software TCP (NewReno-style) stack for the Fig 8 comparison.
+
+Fig 8's only role is to show that offloaded RNIC transports beat a
+kernel TCP stack on both throughput and latency.  The model keeps the
+essential software costs:
+
+* **per-packet host processing** on both send and receive paths
+  (syscalls, skb handling, copies) — caps single-stream throughput well
+  below line rate;
+* **stack traversal latency** added to every packet — dominates small-
+  message RTT;
+* NewReno congestion control: slow start, congestion avoidance, fast
+  retransmit on three duplicate ACKs, RTO fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.packet import Packet, PacketKind, make_ack, make_data_packet
+from repro.rnic.base import (QueuePair, RestartableTimer, RnicTransport,
+                             TransportConfig)
+from repro.sim.engine import Simulator
+
+#: per-packet CPU cost of the software stack (send or receive), ns.
+DEFAULT_HOST_OVERHEAD_NS = 450
+#: one-way stack traversal latency (interrupts, wakeups), ns.
+DEFAULT_STACK_LATENCY_NS = 8_000
+
+
+class _TcpSendState:
+    __slots__ = ("snd_una", "snd_nxt", "max_sent", "cwnd", "ssthresh",
+                 "dupacks", "timer", "recover")
+
+    def __init__(self) -> None:
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.max_sent = -1
+        self.cwnd = 10.0            # packets (IW10)
+        self.ssthresh = 1e9
+        self.dupacks = 0
+        self.timer: Optional[RestartableTimer] = None
+        self.recover = -1
+
+
+class _TcpRecvState:
+    __slots__ = ("epsn", "ooo")
+
+    def __init__(self) -> None:
+        self.epsn = 0
+        self.ooo: set[int] = set()
+
+
+class TcpTransport(RnicTransport):
+    """Software TCP endpoint with modelled host overheads."""
+
+    name = "tcp"
+
+    def __init__(self, sim: Simulator, host_id: int, config: TransportConfig,
+                 host_overhead_ns: int = DEFAULT_HOST_OVERHEAD_NS,
+                 stack_latency_ns: int = DEFAULT_STACK_LATENCY_NS) -> None:
+        super().__init__(sim, host_id, config)
+        self.host_overhead_ns = host_overhead_ns
+        self.stack_latency_ns = stack_latency_ns
+        self._snd: dict[int, _TcpSendState] = {}
+        self._rcv: dict[int, _TcpRecvState] = {}
+
+    def _send_state(self, qp: QueuePair) -> _TcpSendState:
+        st = self._snd.get(qp.qpn)
+        if st is None:
+            st = _TcpSendState()
+            st.timer = RestartableTimer(self.sim, lambda q=qp: self._on_rto(q))
+            self._snd[qp.qpn] = st
+        return st
+
+    def _recv_state(self, qp: QueuePair) -> _TcpRecvState:
+        st = self._rcv.get(qp.qpn)
+        if st is None:
+            st = _TcpRecvState()
+            self._rcv[qp.qpn] = st
+        return st
+
+    # -------------------------------------------------------------- sender
+    def _qp_has_work(self, qp: QueuePair) -> bool:
+        st = self._send_state(qp)
+        return st.snd_nxt < qp.next_psn
+
+    def _qp_next_packet(self, qp: QueuePair) -> Optional[Packet]:
+        st = self._send_state(qp)
+        if st.snd_nxt >= qp.next_psn:
+            return None
+        if st.snd_nxt - st.snd_una >= max(1, int(st.cwnd)):
+            return None
+        packet = self._build(qp, st, st.snd_nxt,
+                             is_retx=st.snd_nxt <= st.max_sent)
+        st.max_sent = max(st.max_sent, st.snd_nxt)
+        st.snd_nxt += 1
+        # CPU cost of the send path: pace the next segment.
+        qp.next_send_ns = max(qp.next_send_ns,
+                              self.now + self.host_overhead_ns)
+        return packet
+
+    def _build(self, qp: QueuePair, st: _TcpSendState, psn: int,
+               is_retx: bool) -> Packet:
+        msg = qp.psn_to_message(psn)
+        payload = msg.payload_of(psn - msg.base_psn, self.config.mtu_payload)
+        packet = make_data_packet(
+            self.host_id, qp.peer_host_id, flow_id=msg.flow.flow_id,
+            qpn=qp.peer_qpn, src_qpn=qp.qpn, psn=psn, msn=msg.msn,
+            payload=payload, mtu_payload=self.config.mtu_payload,
+            msg_len_pkts=msg.num_pkts, msg_len_bytes=msg.size_bytes,
+            msg_offset_pkts=psn - msg.base_psn, dcp=False,
+            entropy=qp.entropy, is_retransmit=is_retx,
+        )
+        packet.kind = PacketKind.TCP_DATA
+        if is_retx:
+            self.count_retransmit(msg.flow)
+        else:
+            msg.flow.stats.data_pkts_sent += 1
+        if not st.timer.armed:
+            st.timer.restart(self.config.rto_ns)
+        return packet
+
+    def _on_rto(self, qp: QueuePair) -> None:
+        st = self._send_state(qp)
+        if st.snd_una >= qp.next_psn:
+            return
+        self.count_timeout(qp.psn_to_message(st.snd_una).flow)
+        st.ssthresh = max(2.0, st.cwnd / 2)
+        st.cwnd = 1.0
+        st.snd_nxt = st.snd_una
+        st.dupacks = 0
+        st.timer.restart(self.config.rto_ns)
+        self._activate(qp)
+
+    def _on_tcp_ack(self, qp: QueuePair, packet: Packet) -> None:
+        st = self._send_state(qp)
+        ack = packet.ack_psn + 1
+        if ack > st.snd_una:
+            newly = ack - st.snd_una
+            st.snd_una = ack
+            st.dupacks = 0
+            if st.cwnd < st.ssthresh:
+                st.cwnd += newly                       # slow start
+            else:
+                st.cwnd += newly / max(1.0, st.cwnd)   # congestion avoidance
+            qp.cc.on_ack(newly * self.config.mtu_payload, self.now)
+            for msg in qp.send_queue:
+                if not msg.acked and st.snd_una >= msg.base_psn + msg.num_pkts:
+                    msg.acked = True
+                    if msg.flow.tx_complete_ns is None and all(
+                            m.acked for m in qp.messages.values()
+                            if m.flow is msg.flow):
+                        msg.flow.tx_complete_ns = self.now
+            if st.snd_una >= qp.next_psn:
+                st.timer.cancel()
+            else:
+                st.timer.restart(self.config.rto_ns)
+        elif ack == st.snd_una and st.snd_una < st.snd_nxt:
+            st.dupacks += 1
+            if st.dupacks == 3 and st.snd_una > st.recover:
+                # Fast retransmit / NewReno recovery.
+                st.ssthresh = max(2.0, st.cwnd / 2)
+                st.cwnd = st.ssthresh
+                st.recover = st.snd_nxt - 1
+                st.snd_nxt = st.snd_una
+                self.count_retransmit(qp.psn_to_message(st.snd_una).flow)
+        self._activate(qp)
+
+    # ------------------------------------------------------------ receiver
+    def _on_tcp_data(self, qp: QueuePair, packet: Packet) -> None:
+        st = self._recv_state(qp)
+        flow = self.flow_of(packet)
+        if packet.psn < st.epsn or packet.psn in st.ooo:
+            if flow is not None:
+                flow.stats.dup_pkts_received += 1
+        else:
+            if flow is not None:
+                flow.deliver(packet.payload_bytes, self.now)
+            if packet.psn == st.epsn:
+                st.epsn += 1
+                while st.epsn in st.ooo:
+                    st.ooo.discard(st.epsn)
+                    st.epsn += 1
+            else:
+                st.ooo.add(packet.psn)
+        ack = make_ack(self.host_id, qp.peer_host_id, flow_id=-1,
+                       qpn=qp.peer_qpn, src_qpn=qp.qpn, kind=PacketKind.TCP_ACK,
+                       ack_psn=st.epsn - 1, dcp=False, entropy=qp.entropy)
+        self.nic.send_control(ack)
+
+    # ----------------------------------------------------------- dispatch
+    def on_packet(self, packet: Packet) -> None:
+        """Every packet pays the receive-path stack costs first."""
+        qp = self.qps.get(packet.qpn)
+        if qp is None:
+            return
+        self.sim.schedule(self.stack_latency_ns + self.host_overhead_ns,
+                          lambda p=packet, q=qp: self._dispatch(q, p))
+
+    def _dispatch(self, qp: QueuePair, packet: Packet) -> None:
+        if packet.kind is PacketKind.TCP_DATA:
+            self._on_tcp_data(qp, packet)
+        elif packet.kind is PacketKind.TCP_ACK:
+            self._on_tcp_ack(qp, packet)
+
+    # unused RNIC handlers
+    def _on_data(self, qp, packet):  # pragma: no cover
+        raise ValueError("TCP stack received a RoCE packet")
+
+    def _on_ack(self, qp, packet):  # pragma: no cover
+        raise ValueError("TCP stack received a RoCE ACK")

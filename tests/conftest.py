@@ -1,0 +1,61 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import Network, NetworkSpec
+from repro.rnic.base import (Flow, Host, HostNic, RnicTransport,
+                             TransportConfig)
+from repro.net.topology import build_direct
+from repro.sim.engine import Simulator
+
+
+def make_direct_pair(transport_cls, config: TransportConfig | None = None,
+                     rate: float = 100.0, prop_delay_ns: int = 500):
+    """Two hosts of ``transport_cls`` connected back-to-back.
+
+    Returns (sim, fabric, transport_a, transport_b).
+    """
+    sim = Simulator()
+    cfg = config or TransportConfig()
+    hosts, transports = [], []
+    for hid in range(2):
+        nic = HostNic(sim, rate, name=f"nic{hid}")
+        tr = transport_cls(sim, hid, cfg)
+        hosts.append(Host(sim, hid, nic, tr))
+        transports.append(tr)
+    fabric = build_direct(sim, hosts[0], hosts[1],
+                          prop_delay_ns=prop_delay_ns, rate=rate)
+    return sim, fabric, transports[0], transports[1]
+
+
+def send_flow(sim, src_transport, dst_transport, size_bytes: int,
+              start_ns: int = 0, qp=None) -> Flow:
+    """Open a QP (unless given) and post one flow; returns the Flow."""
+    if qp is None:
+        qp, _ = RnicTransport.connect(src_transport, dst_transport)
+    flow = Flow(src_transport.host_id, dst_transport.host_id, size_bytes,
+                start_ns)
+    dst_transport.expect_flow(flow)
+    sim.schedule(max(0, start_ns - sim.now),
+                 lambda: src_transport.post_flow(qp, flow))
+    return flow
+
+
+def drain(sim, max_events: int = 20_000_000) -> None:
+    sim.run(max_events=max_events)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+def small_network(**overrides) -> Network:
+    """A fast 8-host CLOS network for integration tests."""
+    defaults = dict(transport="dcp", lb="ar", topology="clos", num_hosts=8,
+                    num_leaves=2, num_spines=2, link_rate=10.0, seed=3,
+                    buffer_bytes=1_000_000)
+    defaults.update(overrides)
+    return Network(NetworkSpec(**defaults))

@@ -1,0 +1,106 @@
+"""Integration: collective workloads (Ring-AllReduce, AllToAll)."""
+
+import pytest
+
+from repro.experiments.common import build_network
+from repro.workload.collective import (AllToAll, RingAllReduce,
+                                       run_grouped_collectives)
+
+
+def _net(**over):
+    defaults = dict(transport="dcp", lb="ar", topology="clos", num_hosts=8,
+                    num_leaves=2, num_spines=2, link_rate=10.0, seed=81,
+                    buffer_bytes=2_000_000)
+    defaults.update(over)
+    return build_network(**defaults)
+
+
+def test_ring_allreduce_step_count():
+    net = _net()
+    coll = RingAllReduce(net, [0, 1, 2, 3], total_bytes=40_000)
+    result = coll.start()
+    net.run_until_flows_done(max_events=30_000_000)
+    # 2(k-1) steps, one flow per member per step
+    assert len(result.flows) == 4 * 2 * (4 - 1)
+    assert all(f.completed for f in result.flows)
+    assert result.jct_ns() > 0
+
+
+def test_ring_dependency_ordering():
+    """A host's step-s+1 flow starts only after its step-s receive."""
+    net = _net()
+    coll = RingAllReduce(net, [0, 1, 2, 3], total_bytes=40_000)
+    result = coll.start()
+    net.run_until_flows_done(max_events=30_000_000)
+    by_step = {}
+    for f in result.flows:
+        step = int(f.tag.rsplit(".s", 1)[1])
+        by_step.setdefault(step, []).append(f)
+    for step in range(1, 6):
+        earliest_next = min(f.start_ns for f in by_step[step])
+        earliest_prev_done = min(f.rx_complete_ns for f in by_step[step - 1])
+        assert earliest_next >= earliest_prev_done
+
+
+def test_ring_slice_sizes():
+    net = _net()
+    coll = RingAllReduce(net, [0, 1, 2, 3], total_bytes=41_000)
+    result = coll.start()
+    assert all(f.size_bytes == 41_000 // 4 for f in result.flows)
+
+
+def test_alltoall_full_mesh():
+    net = _net()
+    coll = AllToAll(net, [0, 1, 2, 3], total_bytes=40_000)
+    result = coll.start()
+    net.run_until_flows_done(max_events=30_000_000)
+    assert len(result.flows) == 4 * 3
+    pairs = {(f.src, f.dst) for f in result.flows}
+    assert len(pairs) == 12
+    assert all(f.completed for f in result.flows)
+
+
+def test_grouped_collectives_share_fabric():
+    net = _net(num_hosts=16)
+    results = run_grouped_collectives(net, "alltoall", num_groups=4,
+                                      group_size=4, total_bytes=40_000)
+    net.run_until_flows_done(max_events=60_000_000)
+    assert len(results) == 4
+    jcts = [r.jct_ns() for r in results]
+    assert all(j > 0 for j in jcts)
+    members = [set(r.group) for r in results]
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not members[i] & members[j]
+
+
+def test_jct_requires_completion():
+    net = _net()
+    coll = AllToAll(net, [0, 1], total_bytes=10_000)
+    result = coll.start()
+    with pytest.raises(ValueError):
+        result.jct_ns()
+
+
+def test_collective_validation():
+    net = _net()
+    with pytest.raises(ValueError):
+        RingAllReduce(net, [0], 1000)
+    with pytest.raises(ValueError):
+        run_grouped_collectives(net, "alltoall", num_groups=5, group_size=4,
+                                total_bytes=1000)
+    with pytest.raises(ValueError):
+        run_grouped_collectives(net, "scatter", num_groups=1, group_size=4,
+                                total_bytes=1000)
+
+
+def test_dcp_beats_gbn_on_congested_alltoall():
+    """The Fig 12/14 shape at miniature scale."""
+    jcts = {}
+    for scheme, lb in (("dcp", "ar"), ("gbn", "ecmp")):
+        net = _net(transport=scheme, lb=lb, buffer_bytes=500_000)
+        results = run_grouped_collectives(net, "alltoall", num_groups=2,
+                                          group_size=4, total_bytes=200_000)
+        net.run_until_flows_done(max_events=60_000_000)
+        jcts[scheme] = max(r.jct_ns() for r in results)
+    assert jcts["dcp"] <= jcts["gbn"] * 1.1

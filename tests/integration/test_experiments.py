@@ -1,0 +1,77 @@
+"""Integration: the experiment registry and quick-preset runs."""
+
+import pytest
+
+from repro.experiments.registry import REGISTRY, run_experiment
+from repro.experiments.result import ExperimentResult
+
+
+def test_registry_covers_every_paper_result():
+    expected = {"table1", "table2", "table3", "table4", "table5",
+                "fig1", "fig2", "fig7", "fig8", "fig10", "fig11", "fig12",
+                "fig13", "fig14", "fig15", "fig16", "fig17", "longhaul",
+                "deepdive"}
+    assert set(REGISTRY) == expected
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ValueError):
+        run_experiment("fig99")
+
+
+@pytest.mark.parametrize("key", ["table1", "table2", "table3", "table4",
+                                 "fig7"])
+def test_analytic_experiments_run_instantly(key):
+    result = run_experiment(key)
+    assert isinstance(result, ExperimentResult)
+    assert result.rows
+    assert result.format_table()
+
+
+def test_table1_shape():
+    result = run_experiment("table1")
+    assert len(result.rows) == 6
+    km = result.column("max_km_1_queue")
+    assert all(2.0 < v < 6.0 for v in km)
+
+
+def test_fig7_shape():
+    result = run_experiment("fig7")
+    dcp = result.column("dcp_mpps")
+    chunk = result.column("linked_chunk_mpps")
+    assert len(set(dcp)) == 1          # flat
+    assert chunk[0] > chunk[-1]        # decaying
+
+
+def test_fig8_quick():
+    result = run_experiment("fig8", preset="quick")
+    by = {r["scheme"]: r for r in result.rows}
+    assert by["dcp"]["throughput_gbps"] > 5 * by["tcp"]["throughput_gbps"]
+    assert by["tcp"]["latency_us"] > 5 * by["dcp"]["latency_us"]
+    assert by["dcp"]["throughput_gbps"] > 0.9 * by["gbn"]["throughput_gbps"]
+
+
+def test_fig10_quick_shape():
+    result = run_experiment("fig10", preset="quick")
+    worst = result.rows[-1]            # 5% loss
+    assert worst["dcp_over_cx5"] > 5.0
+    clean = result.rows[0]
+    assert 0.8 < clean["dcp_over_cx5"] < 1.25
+
+
+def test_result_table_formatting():
+    r = ExperimentResult("x", "demo",
+                         rows=[{"a": 1, "b": 2.5}, {"a": 3, "c": "z"}])
+    text = r.format_table()
+    assert "demo" in text and "2.5" in text and "z" in text
+    assert r.columns() == ["a", "b", "c"]
+    assert r.row_by("a", 3)["c"] == "z"
+    with pytest.raises(KeyError):
+        r.row_by("a", 99)
+
+
+def test_cli_list(capsys):
+    from repro.experiments.cli import main
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig13" in out and "table5" in out

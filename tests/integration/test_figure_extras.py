@@ -1,0 +1,37 @@
+"""Coverage for the per-bin curves and CDF outputs of Figs 13/14."""
+
+from repro.experiments.fig13_websearch import per_bin_table
+from repro.experiments.fig14_ai_sim import fct_cdf, ideal_jct_ns
+from repro.experiments.presets import get_preset
+
+
+def test_fig13_per_bin_table():
+    result = per_bin_table(preset="quick", load=0.3, percentile_key="p95")
+    assert result.rows, "no bins produced"
+    bins = result.column("bin_kb")
+    assert bins == sorted(bins)
+    # every scheme contributed a curve
+    for label in ("pfc-ecmp", "irn-ar", "mp-rdma", "dcp-ar"):
+        assert any(label in row for row in result.rows)
+    # slowdowns are >= 1 wherever defined
+    for row in result.rows:
+        for key, val in row.items():
+            if key != "bin_kb" and val == val:  # skip NaN
+                assert val >= 1.0
+
+
+def test_fig14_cdf_output():
+    curves = fct_cdf("alltoall", preset="quick")
+    assert set(curves) == {"pfc-ecmp", "irn-ar", "mp-rdma", "dcp-ar"}
+    for label, points in curves.items():
+        assert points, label
+        probs = [p for _v, p in points]
+        assert probs == sorted(probs)
+        assert probs[-1] == 1.0
+
+
+def test_fig14_ideal_bounds():
+    p = get_preset("quick")
+    ar = ideal_jct_ns("allreduce", p)
+    a2a = ideal_jct_ns("alltoall", p)
+    assert ar > a2a > 0  # the ring makes 2(k-1) serial steps

@@ -1,0 +1,71 @@
+"""Property-based tests for the event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1,
+                max_size=200))
+def test_events_always_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(st.lists(st.tuples(st.integers(0, 1000), st.booleans()), min_size=1,
+                max_size=100))
+def test_cancelled_events_never_fire(entries):
+    sim = Simulator()
+    fired = []
+    tokens = []
+    for delay, cancel in entries:
+        token = sim.schedule(delay, lambda i=len(tokens): fired.append(i))
+        tokens.append((token, cancel))
+    for token, cancel in tokens:
+        if cancel:
+            token.cancel()
+    sim.run()
+    expected = {i for i, (_t, cancel) in enumerate(tokens) if not cancel}
+    assert set(fired) == expected
+
+
+@given(st.lists(st.integers(0, 10**6), min_size=1, max_size=100),
+       st.integers(0, 10**6))
+def test_run_until_partitions_execution(delays, split):
+    """Running to t then to the end equals running straight through."""
+    def collect(two_phase: bool):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda d=d: fired.append(d))
+        if two_phase:
+            sim.run(until=split)
+            sim.run()
+        else:
+            sim.run()
+        return fired
+
+    assert collect(True) == collect(False)
+
+
+@given(st.integers(1, 50))
+def test_chained_events_preserve_causality(n):
+    sim = Simulator()
+    seen = []
+
+    def step(i):
+        seen.append(i)
+        if i < n:
+            sim.schedule(10, lambda: step(i + 1))
+
+    sim.schedule(0, lambda: step(1))
+    sim.run()
+    assert seen == list(range(1, n + 1))
+    assert sim.now == (n - 1) * 10

@@ -1,0 +1,67 @@
+"""Property-based tests for WRR scheduling and the §4.2 weight rule."""
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.core.header import control_queue_share, wrr_weight
+from repro.net.packet import Packet, PacketKind
+from repro.net.queues import ByteQueue, WrrScheduler
+
+
+def _pkt():
+    return Packet(src=0, dst=1, kind=PacketKind.DATA, size_bytes=100)
+
+
+@given(st.floats(0.25, 16.0), st.integers(200, 2000))
+def test_wrr_ratio_converges_to_weights(weight, rounds):
+    queues = [ByteQueue(), ByteQueue()]
+    sched = WrrScheduler(queues, [weight, 1.0])
+    counts = [0, 0]
+    for _ in range(rounds):
+        for q in queues:
+            if not q:
+                q.push(_pkt())
+        idx = sched.select()
+        counts[idx] += 1
+        queues[idx].pop()
+    ratio = counts[0] / max(1, counts[1])
+    assert 0.7 * weight <= ratio <= 1.4 * weight
+
+
+@given(st.lists(st.floats(0.5, 8.0), min_size=2, max_size=5),
+       st.integers(0, 4))
+def test_wrr_never_starves_backlogged_queue(weights, hot):
+    """Every backlogged queue is eventually served (no starvation)."""
+    assume(hot < len(weights))
+    queues = [ByteQueue() for _ in weights]
+    sched = WrrScheduler(queues, weights)
+    served = [0] * len(weights)
+    for _ in range(len(weights) * 200):
+        for q in queues:
+            if not q:
+                q.push(_pkt())
+        idx = sched.select()
+        served[idx] += 1
+        queues[idx].pop()
+    assert all(s > 0 for s in served)
+
+
+@given(st.integers(2, 64), st.floats(2.0, 64.0))
+def test_weight_rule_guarantees_drain(radix, r):
+    """Whenever the §4.2 formula applies, drain rate covers worst-case
+    HO input; otherwise the fallback is used."""
+    w = wrr_weight(radix, r, fallback=8.0)
+    assert w > 0
+    if r > radix - 1:
+        input_share = (radix - 1) / r
+        assert control_queue_share(w) >= input_share - 1e-9
+
+
+@given(st.integers(2, 32))
+def test_weight_monotone_in_radix(radix):
+    r = 20.0
+    assume(r > radix)  # stay in the analytic regime
+    w_small = wrr_weight(radix, r)
+    w_big = wrr_weight(radix + 1, r) if r > radix + 1 else None
+    if w_big is not None:
+        assert w_big >= w_small

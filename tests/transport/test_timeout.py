@@ -1,0 +1,61 @@
+"""Behavioral tests for the timeout-only transport."""
+
+from repro.experiments.common import build_network
+from repro.rnic.timeout import TimeoutTransport
+from tests.conftest import drain, make_direct_pair, send_flow
+
+
+def test_basic_transfer():
+    sim, fab, a, b = make_direct_pair(TimeoutTransport)
+    flow = send_flow(sim, a, b, 100_000)
+    drain(sim)
+    assert flow.completed
+    assert flow.stats.timeouts == 0
+
+
+def test_every_loss_costs_an_rto():
+    net = build_network(transport="timeout", topology="testbed", num_hosts=4,
+                        cross_links=1, link_rate=10.0, loss_rate=0.02,
+                        lb="ecmp", seed=51)
+    flow = net.open_flow(0, 2, 200_000, 0)
+    net.run_until_flows_done(max_events=40_000_000)
+    assert flow.completed
+    assert flow.stats.timeouts > 0
+
+
+def test_blind_retransmission_duplicates():
+    """Without SACK the sender resends delivered packets too."""
+    net = build_network(transport="timeout", topology="testbed", num_hosts=4,
+                        cross_links=1, link_rate=10.0, loss_rate=0.05,
+                        lb="ecmp", seed=52)
+    flow = net.open_flow(0, 2, 100_000, 0)
+    net.run_until_flows_done(max_events=40_000_000)
+    assert flow.completed
+    assert flow.stats.dup_pkts_received > 0
+    assert flow.rx_bytes == 100_000  # accounting still exact
+
+
+def test_order_tolerant_reception():
+    """Spectrum-style OOO acceptance: reordering alone costs nothing."""
+    net = build_network(transport="timeout", topology="testbed", num_hosts=4,
+                        cross_links=2, link_rate=10.0, loss_rate=0.0,
+                        lb="spray", seed=53)
+    flow = net.open_flow(0, 2, 300_000, 0)
+    net.run_until_flows_done(max_events=30_000_000)
+    assert flow.completed
+    assert flow.stats.retx_pkts_sent == 0
+    assert flow.stats.timeouts == 0
+
+
+def test_goodput_collapses_vs_dcp():
+    """Fig 17's worst line: timeout-only much slower than DCP under loss."""
+    results = {}
+    for scheme in ("timeout", "dcp"):
+        net = build_network(transport=scheme, topology="testbed",
+                            num_hosts=4, cross_links=1, link_rate=10.0,
+                            loss_rate=0.02, lb="ecmp", seed=54)
+        f = net.open_flow(0, 2, 200_000, 0)
+        net.run_until_flows_done(max_events=40_000_000)
+        assert f.completed
+        results[scheme] = f.fct_ns()
+    assert results["timeout"] > 2 * results["dcp"]

@@ -1,0 +1,105 @@
+"""Tests for the verbs-flavoured API: ops, Receive WQEs, CQs (§4.4)."""
+
+import pytest
+
+from repro.core.dcp import DcpTransport
+from repro.rnic.verbs import CompletionEntry, RdmaOp, VerbsEndpoint
+from tests.conftest import drain, make_direct_pair
+
+
+def _endpoints(transport_cls=DcpTransport):
+    sim, fab, a, b = make_direct_pair(transport_cls)
+    ea, eb = VerbsEndpoint(a), VerbsEndpoint(b)
+    qa, qb = VerbsEndpoint.connect(ea, eb)
+    return sim, ea, eb, qa, qb
+
+
+def test_write_generates_send_cqe_only():
+    sim, ea, eb, qa, qb = _endpoints()
+    flow = ea.transfer(eb, qa, 50_000, op=RdmaOp.WRITE, wr_id=7)
+    drain(sim)
+    assert flow.completed
+    send_cqes = ea.poll_cq("send")
+    assert len(send_cqes) == 1
+    assert send_cqes[0].wr_id == 7
+    assert send_cqes[0].op is RdmaOp.WRITE
+    assert eb.poll_cq("recv") == []  # one-sided: responder sees nothing
+
+
+def test_send_consumes_receive_wqe():
+    sim, ea, eb, qa, qb = _endpoints()
+    eb.post_recv(qb, 50_000, wr_id=42)
+    flow = ea.transfer(eb, qa, 50_000, op=RdmaOp.SEND, wr_id=1)
+    drain(sim)
+    assert flow.completed
+    recv_cqes = eb.poll_cq("recv")
+    assert len(recv_cqes) == 1
+    assert recv_cqes[0].wr_id == 42
+    assert recv_cqes[0].is_recv
+    assert recv_cqes[0].byte_len == 50_000
+    assert eb.rnr_drops == 0
+
+
+def test_receive_wqes_consumed_in_posting_order():
+    """SSN ordering: multiple sends match Receive WQEs in posted order."""
+    sim, ea, eb, qa, qb = _endpoints()
+    for wr_id in (100, 101, 102):
+        eb.post_recv(qb, 10_000, wr_id=wr_id)
+    flows = [ea.transfer(eb, qa, 10_000, op=RdmaOp.SEND, wr_id=i)
+             for i in range(3)]
+    drain(sim)
+    assert all(f.completed for f in flows)
+    got = [c.wr_id for c in eb.poll_cq("recv")]
+    assert got == [100, 101, 102]
+
+
+def test_missing_receive_wqe_counts_rnr():
+    sim, ea, eb, qa, qb = _endpoints()
+    flow = ea.transfer(eb, qa, 10_000, op=RdmaOp.SEND)
+    drain(sim)
+    assert flow.completed
+    assert eb.rnr_drops == 1
+    assert eb.poll_cq("recv") == []
+
+
+def test_write_imm_notifies_responder():
+    sim, ea, eb, qa, qb = _endpoints()
+    eb.post_recv(qb, 20_000, wr_id=5)
+    flow = ea.transfer(eb, qa, 20_000, op=RdmaOp.WRITE_IMM)
+    drain(sim)
+    assert flow.completed
+    cqes = eb.poll_cq("recv")
+    assert len(cqes) == 1
+    assert cqes[0].op is RdmaOp.WRITE_IMM
+
+
+def test_poll_cq_respects_max_entries():
+    sim, ea, eb, qa, qb = _endpoints()
+    for i in range(5):
+        eb.post_recv(qb, 1_000, wr_id=i)
+        ea.transfer(eb, qa, 1_000, op=RdmaOp.SEND)
+    drain(sim)
+    first = eb.poll_cq("recv", max_entries=2)
+    rest = eb.poll_cq("recv", max_entries=16)
+    assert len(first) == 2
+    assert len(rest) == 3
+
+
+def test_verbs_over_gbn_too():
+    """The verbs layer is transport-agnostic."""
+    from repro.rnic.gbn import GbnTransport
+    sim, ea, eb, qa, qb = _endpoints(GbnTransport)
+    eb.post_recv(qb, 30_000, wr_id=9)
+    flow = ea.transfer(eb, qa, 30_000, op=RdmaOp.SEND)
+    drain(sim)
+    assert flow.completed
+    assert [c.wr_id for c in eb.poll_cq("recv")] == [9]
+
+
+def test_completion_timestamps_ordered():
+    sim, ea, eb, qa, qb = _endpoints()
+    flows = [ea.transfer(eb, qa, 5_000, op=RdmaOp.WRITE) for _ in range(3)]
+    drain(sim)
+    ts = [c.timestamp_ns for c in ea.poll_cq("send")]
+    assert ts == sorted(ts)
+    assert all(f.completed for f in flows)

@@ -1,0 +1,84 @@
+"""Unit tests for workload distributions."""
+
+import random
+
+import pytest
+
+from repro.workload.distributions import (WEBSEARCH_BINS_KB,
+                                          EmpiricalSizeDistribution,
+                                          FixedSizeDistribution, websearch,
+                                          websearch_class)
+
+
+def test_websearch_bins_match_fig13_axis():
+    assert len(WEBSEARCH_BINS_KB) == 20
+    assert WEBSEARCH_BINS_KB[0] == 3
+    assert WEBSEARCH_BINS_KB[-1] == 29995
+
+
+def test_websearch_mix_matches_paper():
+    """§6.2: 60% < 200 KB, 37% in 200 KB-10 MB, 3% > 10 MB."""
+    dist = websearch(jitter=0.0)
+    rng = random.Random(7)
+    n = 20_000
+    small = medium = large = 0
+    for _ in range(n):
+        s = dist.sample(rng)
+        if s < 200_000:
+            small += 1
+        elif s <= 10_000_000:
+            medium += 1
+        else:
+            large += 1
+    assert small / n == pytest.approx(0.55, abs=0.03)   # 11 of 20 bins
+    assert large / n == pytest.approx(0.05, abs=0.02)   # 1 of 20 bins
+    # equal-probability buckets: close to but not exactly the CDF quote;
+    # the shape (mostly-small, heavy tail) is what matters
+    assert small > medium > large
+
+
+def test_scale_divides_sizes():
+    full = websearch(jitter=0.0)
+    tenth = websearch(scale=10, jitter=0.0)
+    rng1, rng2 = random.Random(3), random.Random(3)
+    for _ in range(100):
+        assert full.sample(rng1) == 10 * tenth.sample(rng2)
+
+
+def test_jitter_spreads_within_bucket():
+    dist = websearch(jitter=0.25)
+    rng = random.Random(1)
+    samples = {dist.sample(rng) for _ in range(200)}
+    assert len(samples) > 100
+
+
+def test_mean_bytes():
+    dist = websearch(jitter=0.0)
+    expected = sum(kb * 1000 for kb in WEBSEARCH_BINS_KB) / 20
+    assert dist.mean_bytes() == pytest.approx(expected)
+
+
+def test_sample_never_zero():
+    dist = EmpiricalSizeDistribution(bins_bytes=(1,), scale=100.0)
+    rng = random.Random(1)
+    assert all(dist.sample(rng) >= 1 for _ in range(10))
+
+
+def test_websearch_class_boundaries():
+    # Fig 1b classes: small 0-50 KB, medium 50 KB-2 MB, large > 2 MB
+    assert websearch_class(50_000) == "small"
+    assert websearch_class(50_001) == "medium"
+    assert websearch_class(2_000_000) == "medium"
+    assert websearch_class(2_000_001) == "large"
+
+
+def test_websearch_class_scale():
+    # a 5 KB flow at scale 10 represents a 50 KB (small) flow
+    assert websearch_class(5_000, scale=10) == "small"
+    assert websearch_class(300_000, scale=10) == "large"
+
+
+def test_fixed_distribution():
+    d = FixedSizeDistribution(1234)
+    assert d.sample(random.Random(0)) == 1234
+    assert d.mean_bytes() == 1234.0

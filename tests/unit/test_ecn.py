@@ -1,0 +1,65 @@
+"""Unit tests for RED/ECN marking."""
+
+import random
+
+import pytest
+
+from repro.net.ecn import EcnMarker, RedProfile, default_red_profile
+from repro.net.packet import Packet, PacketKind
+
+
+def _pkt(ecn=True):
+    return Packet(src=0, dst=1, kind=PacketKind.DATA, size_bytes=1000,
+                  ecn_capable=ecn)
+
+
+def test_no_mark_below_kmin():
+    m = EcnMarker(RedProfile(10_000, 50_000))
+    assert m.mark_probability(9_999) == 0.0
+    p = _pkt()
+    assert not m.maybe_mark(p, 5_000)
+    assert not p.ecn_ce
+
+
+def test_always_mark_above_kmax():
+    m = EcnMarker(RedProfile(10_000, 50_000, pmax=1.0))
+    p = _pkt()
+    assert m.maybe_mark(p, 60_000)
+    assert p.ecn_ce
+
+
+def test_linear_between():
+    m = EcnMarker(RedProfile(0, 100, pmax=1.0))
+    assert m.mark_probability(50) == pytest.approx(0.5)
+
+
+def test_pmax_scales_probability():
+    m = EcnMarker(RedProfile(0, 100, pmax=0.1))
+    assert m.mark_probability(50) == pytest.approx(0.05)
+
+
+def test_non_ecn_capable_never_marked():
+    m = EcnMarker(RedProfile(0, 1))
+    p = _pkt(ecn=False)
+    assert not m.maybe_mark(p, 1_000_000)
+    assert not p.ecn_ce
+
+
+def test_marking_statistics():
+    m = EcnMarker(RedProfile(0, 100, pmax=1.0), rng=random.Random(1))
+    marked = sum(m.maybe_mark(_pkt(), 50) for _ in range(2000))
+    assert 850 <= marked <= 1150  # ~50%
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        RedProfile(kmin_bytes=100, kmax_bytes=50)
+    with pytest.raises(ValueError):
+        RedProfile(kmin_bytes=0, kmax_bytes=10, pmax=2.0)
+
+
+def test_default_profile_scales_with_rate():
+    slow = default_red_profile(10.0)
+    fast = default_red_profile(100.0)
+    assert fast.kmin_bytes > slow.kmin_bytes
+    assert fast.kmax_bytes > slow.kmax_bytes

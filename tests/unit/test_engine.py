@@ -1,0 +1,145 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Entity, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(300, lambda: order.append("c"))
+    sim.schedule(100, lambda: order.append("a"))
+    sim.schedule(200, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 300
+
+
+def test_same_time_events_run_fifo():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        sim.schedule(50, lambda i=i: order.append(i))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(42, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [42]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    token = sim.schedule(10, lambda: fired.append(1))
+    token.cancel()
+    sim.schedule(20, lambda: fired.append(2))
+    sim.run()
+    assert fired == [2]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, lambda: fired.append(1))
+    sim.schedule(200, lambda: fired.append(2))
+    sim.run(until=150)
+    assert fired == [1]
+    assert sim.now == 150
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_run_until_includes_boundary_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, lambda: fired.append(1))
+    sim.run(until=100)
+    assert fired == [1]
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    count = []
+
+    def reschedule():
+        count.append(1)
+        sim.schedule(1, reschedule)
+
+    sim.schedule(0, reschedule)
+    sim.run(max_events=5)
+    assert len(count) == 5
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(5, lambda: order.append("nested"))
+
+    sim.schedule(10, first)
+    sim.schedule(100, lambda: order.append("last"))
+    sim.run()
+    assert order == ["first", "nested", "last"]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10, lambda: sim.schedule_at(50, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [50]
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    t1 = sim.schedule(10, lambda: None)
+    sim.schedule(20, lambda: None)
+    t1.cancel()
+    assert sim.peek_time() == 20
+
+
+def test_step_returns_false_when_idle():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_entity_after_uses_shared_clock():
+    sim = Simulator()
+
+    class Thing(Entity):
+        def __init__(self, sim):
+            super().__init__(sim)
+            self.fired_at = None
+
+        def go(self):
+            self.after(7, lambda: setattr(self, "fired_at", self.now))
+
+    thing = Thing(sim)
+    sim.schedule(3, thing.go)
+    sim.run()
+    assert thing.fired_at == 10
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert sim.events_processed == 4

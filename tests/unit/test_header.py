@@ -1,0 +1,60 @@
+"""Unit tests for DCP header math: the §4.2 WRR weight rule."""
+
+import pytest
+
+from repro.core.header import (control_queue_share, ho_data_size_ratio,
+                               max_lossless_incast, wrr_weight)
+
+
+def test_size_ratio_1kb_mtu():
+    # data packet = 73 + 1000 = 1073 B; HO = 57 B -> r ~ 18.8
+    r = ho_data_size_ratio(1000)
+    assert 18 < r < 19
+
+
+def test_weight_formula():
+    # w = (N-1) / (r - N + 1)
+    assert wrr_weight(9, 20.0) == pytest.approx(8 / 12)
+    assert wrr_weight(17, 20.0) == pytest.approx(16 / 4)
+
+
+def test_weight_fallback_when_unsolvable():
+    # r <= N-1: no theoretical guarantee; use the fallback (§4.2).
+    assert wrr_weight(22, 18.8, fallback=8.0) == 8.0
+    assert wrr_weight(30, 20.0, fallback=5.0) == 5.0
+
+
+def test_weight_grows_with_radix():
+    r = ho_data_size_ratio(1000)
+    assert wrr_weight(16, r) > wrr_weight(8, r)
+
+
+def test_control_queue_share():
+    assert control_queue_share(1.0) == pytest.approx(0.5)
+    assert control_queue_share(4.0) == pytest.approx(0.8)
+
+
+def test_max_lossless_incast_inverts_weight():
+    r = ho_data_size_ratio(1000)
+    for radix in (4, 8, 16):
+        w = wrr_weight(radix, r)
+        assert max_lossless_incast(w, r) >= radix - 1
+
+
+def test_worst_case_drain_rate_covers_input():
+    """The §4.2 sizing argument: drain >= worst-case HO input rate."""
+    r = ho_data_size_ratio(1000)
+    for radix in (4, 8, 12, 16):
+        w = wrr_weight(radix, r)
+        input_rate = (radix - 1) / r       # x B (port bandwidth)
+        drain_rate = w / (1 + w)           # x B
+        assert drain_rate >= input_rate - 1e-9
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        wrr_weight(1, 20.0)
+    with pytest.raises(ValueError):
+        wrr_weight(8, 0.0)
+    with pytest.raises(ValueError):
+        control_queue_share(0.0)

@@ -1,0 +1,116 @@
+"""Unit tests for the analytic models behind Tables 1-3 and Fig 7."""
+
+import pytest
+
+from repro.analysis.models import (ASIC_CATALOG, REQUIREMENTS_MATRIX,
+                                   SwitchAsic, lossless_distance_km,
+                                   table3_rows, theoretical_packet_rate_mpps,
+                                   tracking_access_cycles,
+                                   tracking_memory_bytes)
+
+
+class TestTable1:
+    def test_catalog_matches_paper(self):
+        names = [a.name for a in ASIC_CATALOG]
+        assert names == ["Tomahawk 3", "Tomahawk 5", "Tofino 1", "Tofino 2",
+                         "Spectrum", "Spectrum-4"]
+
+    def test_tomahawk3_distance(self):
+        th3 = ASIC_CATALOG[0]
+        km = lossless_distance_km(th3)
+        assert km == pytest.approx(4.0, rel=0.05)   # paper: 4.1 km
+
+    def test_eight_queues_divide_distance(self):
+        th3 = ASIC_CATALOG[0]
+        assert lossless_distance_km(th3, queues=8) == pytest.approx(
+            lossless_distance_km(th3) / 8)
+
+    def test_all_asics_below_10km(self):
+        # The paper's point: commodity ASICs cannot do tens of km.
+        for asic in ASIC_CATALOG:
+            assert lossless_distance_km(asic) < 10.0
+
+    def test_buffer_per_port_per_100g(self):
+        th3 = ASIC_CATALOG[0]
+        assert th3.buffer_per_port_per_100g_mb() == pytest.approx(0.5)
+
+    def test_custom_asic(self):
+        fat = SwitchAsic("fat", ports=1, port_gbps=100, buffer_mb=1000)
+        assert lossless_distance_km(fat) > 50
+
+    def test_queue_validation(self):
+        with pytest.raises(ValueError):
+            lossless_distance_km(ASIC_CATALOG[0], queues=0)
+
+
+class TestTable3:
+    def test_bdp_scheme_320_bytes(self):
+        lo, hi = tracking_memory_bytes("bdp")
+        assert lo == hi == 320   # paper Table 3
+
+    def test_dcp_scheme_32_bytes(self):
+        lo, hi = tracking_memory_bytes("dcp")
+        assert lo == hi == 32    # paper Table 3
+
+    def test_linked_chunk_range(self):
+        lo, hi = tracking_memory_bytes("linked_chunk")
+        assert lo == 80          # paper Table 3
+        assert hi == 320         # caps at the BDP bitmap
+
+    def test_linked_chunk_scales_with_ooo(self):
+        _lo, small = tracking_memory_bytes("linked_chunk", ooo_degree=64)
+        _lo2, big = tracking_memory_bytes("linked_chunk", ooo_degree=1024)
+        assert small <= big
+
+    def test_aggregate_rows(self):
+        rows = table3_rows(num_qps=10_000)
+        by = {r["scheme"]: r for r in rows}
+        assert by["BDP-sized"]["aggregate_mb"][1] == pytest.approx(3.2)
+        assert by["DCP"]["aggregate_mb"][0] == pytest.approx(0.32)
+        # DCP is 10x smaller than BDP-sized, as the paper reports
+        assert (by["BDP-sized"]["aggregate_mb"][1]
+                / by["DCP"]["aggregate_mb"][1]) == pytest.approx(10.0)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            tracking_memory_bytes("nope")
+
+
+class TestFig7:
+    def test_constant_schemes_flat(self):
+        for scheme in ("bdp", "dcp"):
+            r0 = theoretical_packet_rate_mpps(scheme, 0)
+            r448 = theoretical_packet_rate_mpps(scheme, 448)
+            assert r0 == r448 == pytest.approx(50.0)  # paper: ~50 Mpps
+
+    def test_linked_chunk_decays(self):
+        rates = [theoretical_packet_rate_mpps("linked_chunk", o)
+                 for o in (0, 128, 256, 448)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+        assert rates[0] < 50.0
+        assert rates[-1] < rates[0]
+
+    def test_access_cycles(self):
+        assert tracking_access_cycles("dcp", 448) == 2
+        assert tracking_access_cycles("linked_chunk", 0) == 2
+        assert tracking_access_cycles("linked_chunk", 448) == 2 + 448 // 128
+
+
+class TestTable2:
+    def test_dcp_satisfies_all(self):
+        assert all(REQUIREMENTS_MATRIX["DCP"].values())
+
+    def test_paper_rows(self):
+        m = REQUIREMENTS_MATRIX
+        assert m["RNIC-GBN"] == {"R1": False, "R2": False, "R3": False,
+                                 "R4": True}
+        assert m["MP-RDMA"]["R1"] is False     # still needs PFC
+        assert m["MP-RDMA"]["R2"] is True
+        assert m["NDP"]["R4"] is False         # software only
+        assert m["RNIC-SR"]["R1"] is True
+        assert m["RNIC-SR"]["R2"] is False
+
+    def test_only_dcp_is_complete(self):
+        complete = [k for k, v in REQUIREMENTS_MATRIX.items()
+                    if all(v.values())]
+        assert complete == ["DCP"]

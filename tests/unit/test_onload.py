@@ -1,0 +1,56 @@
+"""Tests for the §7 bitmap-onloading trade-off model."""
+
+import pytest
+
+from repro.analysis.onload import OnloadModel, onload_comparison
+
+
+def test_on_chip_rate_is_pipeline_bound():
+    m = OnloadModel()
+    assert m.packet_rate_mpps(0.9, bitmap_in_host=False) == pytest.approx(50.0)
+
+
+def test_host_bitmap_fine_on_single_path():
+    """SRNIC's regime: bitmap accesses only on loss -> no penalty."""
+    m = OnloadModel()
+    rate = m.packet_rate_mpps(0.001, bitmap_in_host=True)
+    assert rate == pytest.approx(50.0)
+
+
+def test_host_bitmap_collapses_under_packet_level_lb():
+    """DCP's regime: most packets OOO -> host accesses throttle the NIC."""
+    m = OnloadModel()
+    rate = m.packet_rate_mpps(0.5, bitmap_in_host=True)
+    assert rate < 20.0
+    assert rate == pytest.approx(8 / 1000 * 1e3 / 0.5)  # 16 Mpps
+
+
+def test_rate_monotone_in_ooo_fraction():
+    m = OnloadModel()
+    rates = [m.packet_rate_mpps(f, bitmap_in_host=True)
+             for f in (0.01, 0.1, 0.3, 0.6, 0.9)]
+    assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+
+def test_parallelism_helps():
+    narrow = OnloadModel(parallelism=2)
+    wide = OnloadModel(parallelism=16)
+    assert (wide.packet_rate_mpps(0.5, True)
+            > narrow.packet_rate_mpps(0.5, True))
+
+
+def test_comparison_table_tells_the_papers_story():
+    rows = onload_comparison()
+    by = {r["scenario"]: r for r in rows}
+    sr = by["single-path SR (loss only)"]
+    lb = by["packet-level LB"]
+    # SRNIC's choice is free on a single path...
+    assert sr["host_bitmap_mpps"] == pytest.approx(sr["on_chip_mpps"])
+    # ...but unusable under packet-level LB, where DCP's counter keeps
+    # the full rate (the §7 conclusion)
+    assert lb["host_bitmap_mpps"] < 0.5 * lb["dcp_counter_mpps"]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        OnloadModel().packet_rate_mpps(1.5, True)

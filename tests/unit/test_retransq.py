@@ -1,0 +1,123 @@
+"""Unit tests for the RetransQ (§4.3): batching, PCIe cost, CC gating."""
+
+from repro.core.retransq import RetransQ
+from repro.sim.engine import Simulator
+
+
+def test_write_then_fetch_batch():
+    sim = Simulator()
+    q = RetransQ(sim, pcie_rtt_ns=1000, batch=16)
+    for psn in range(10):
+        q.write(msn=0, psn=psn)
+    assert q.host_len == 10
+    assert not q.has_ready()
+    q.request_fetch(max_entries=100)
+    sim.run()
+    assert q.has_ready()
+    assert q.host_len == 0
+    entries = []
+    while q.has_ready():
+        entries.append(q.pop_ready())
+    assert [e.psn for e in entries] == list(range(10))
+
+
+def test_fetch_latency_is_one_pcie_rtt():
+    sim = Simulator()
+    q = RetransQ(sim, pcie_rtt_ns=1234, batch=16)
+    q.write(0, 0)
+    q.request_fetch(16)
+    sim.run()
+    assert sim.now == 1234
+
+
+def test_batch_limit():
+    sim = Simulator()
+    q = RetransQ(sim, pcie_rtt_ns=100, batch=4)
+    for psn in range(10):
+        q.write(0, psn)
+    q.request_fetch(100)
+    sim.run()
+    ready = 0
+    while q.has_ready():
+        q.pop_ready()
+        ready += 1
+    assert ready == 4
+    assert q.host_len == 6
+
+
+def test_cc_gate_limits_fetch():
+    # §4.3: fetch min(16, len, awin/MTU) entries.
+    sim = Simulator()
+    q = RetransQ(sim, pcie_rtt_ns=100, batch=16)
+    for psn in range(10):
+        q.write(0, psn)
+    q.request_fetch(max_entries=3)
+    sim.run()
+    count = 0
+    while q.has_ready():
+        q.pop_ready()
+        count += 1
+    assert count == 3
+
+
+def test_zero_window_no_fetch():
+    sim = Simulator()
+    q = RetransQ(sim, pcie_rtt_ns=100, batch=16)
+    q.write(0, 0)
+    q.request_fetch(max_entries=0)
+    sim.run()
+    assert not q.has_ready()
+
+
+def test_single_fetch_in_flight():
+    sim = Simulator()
+    q = RetransQ(sim, pcie_rtt_ns=100, batch=2)
+    for psn in range(6):
+        q.write(0, psn)
+    q.request_fetch(16)
+    q.request_fetch(16)  # ignored: fetch already in flight
+    sim.run()
+    assert q.fetches == 1
+
+
+def test_naive_mode_costs_two_rtts_per_entry():
+    # The strawman of §4.3 challenge #1: one WQE fetch + one data fetch.
+    sim = Simulator()
+    q = RetransQ(sim, pcie_rtt_ns=500, batch=16, naive=True)
+    q.write(0, 0)
+    q.write(0, 1)
+    q.request_fetch(16)
+    sim.run()
+    assert sim.now == 1000  # 2 x 500 ns
+    assert q.pop_ready() is not None
+    assert q.pop_ready() is None  # naive fetches ONE entry at a time
+
+
+def test_pcie_transaction_accounting():
+    sim = Simulator()
+    q = RetransQ(sim, pcie_rtt_ns=100, batch=16)
+    q.write(0, 0)       # 1 posted write
+    q.request_fetch(16)  # 1 read
+    sim.run()
+    assert q.pcie_transactions == 2
+
+
+def test_on_ready_callback():
+    sim = Simulator()
+    fired = []
+    q = RetransQ(sim, pcie_rtt_ns=100, batch=16,
+                 on_ready=lambda: fired.append(sim.now))
+    q.write(0, 0)
+    q.request_fetch(16)
+    sim.run()
+    assert fired == [100]
+
+
+def test_len_counts_both_sides():
+    sim = Simulator()
+    q = RetransQ(sim, pcie_rtt_ns=100, batch=2)
+    for psn in range(3):
+        q.write(0, psn)
+    q.request_fetch(16)
+    sim.run()
+    assert len(q) == 3  # 2 ready + 1 pending

@@ -1,0 +1,36 @@
+"""Unit tests for seeded RNG streams."""
+
+from repro.sim.rng import SeedSequence
+
+
+def test_same_seed_same_stream():
+    a = SeedSequence(7).stream("arrivals")
+    b = SeedSequence(7).stream("arrivals")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_differ():
+    ss = SeedSequence(7)
+    a = ss.stream("arrivals")
+    b = ss.stream("sizes")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    a = SeedSequence(1).stream("x")
+    b = SeedSequence(2).stream("x")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_stream_is_cached():
+    ss = SeedSequence(3)
+    assert ss.stream("a") is ss.stream("a")
+
+
+def test_spawn_derives_independent_child():
+    parent = SeedSequence(5)
+    child1 = parent.spawn("left")
+    child2 = parent.spawn("right")
+    s1 = child1.stream("x")
+    s2 = child2.stream("x")
+    assert [s1.random() for _ in range(3)] != [s2.random() for _ in range(3)]

@@ -1,0 +1,144 @@
+"""Unit tests for load balancers."""
+
+import pytest
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.routing import (AdaptiveLoadBalancer, EcmpLoadBalancer,
+                               SprayLoadBalancer, WeightedLoadBalancer,
+                               flow_hash, make_load_balancer)
+from repro.net.switch import Switch, SwitchConfig
+from repro.sim.engine import Simulator
+
+
+def _pkt(flow_id=1, entropy=0):
+    return Packet(src=0, dst=1, kind=PacketKind.DATA, size_bytes=1000,
+                  flow_id=flow_id, entropy=entropy)
+
+
+def _switch(num_ports=4):
+    sim = Simulator()
+    cfg = SwitchConfig(num_ports=num_ports)
+    return Switch(sim, 0, cfg, EcmpLoadBalancer())
+
+
+def test_flow_hash_deterministic():
+    assert flow_hash(_pkt(5)) == flow_hash(_pkt(5))
+    assert flow_hash(_pkt(5)) != flow_hash(_pkt(6))
+
+
+def test_ecmp_sticky_per_flow():
+    sw = _switch()
+    lb = EcmpLoadBalancer()
+    choices = {lb.pick(sw, _pkt(flow_id=9), [0, 1, 2, 3]) for _ in range(20)}
+    assert len(choices) == 1
+
+
+def test_ecmp_spreads_across_flows():
+    sw = _switch()
+    lb = EcmpLoadBalancer()
+    choices = {lb.pick(sw, _pkt(flow_id=f), [0, 1, 2, 3]) for f in range(64)}
+    assert len(choices) >= 3
+
+
+def test_ecmp_entropy_changes_path():
+    sw = _switch()
+    lb = EcmpLoadBalancer()
+    picks = {lb.pick(sw, _pkt(flow_id=1, entropy=e), [0, 1, 2, 3])
+             for e in range(32)}
+    assert len(picks) >= 3  # MP-RDMA's per-packet VPs really multipath
+
+
+def test_adaptive_picks_least_loaded():
+    sw = _switch()
+    lb = AdaptiveLoadBalancer()
+    sw.ports[0].queues[0].push(_pkt())
+    sw.ports[1].queues[0].push(_pkt())
+    assert lb.pick(sw, _pkt(), [0, 1, 2]) == 2
+
+
+def test_adaptive_tie_break_deterministic():
+    sw = _switch()
+    lb = AdaptiveLoadBalancer()
+    a = lb.pick(sw, _pkt(flow_id=4), [0, 1, 2, 3])
+    b = lb.pick(sw, _pkt(flow_id=4), [0, 1, 2, 3])
+    assert a == b
+
+
+def test_spray_round_robins():
+    sw = _switch()
+    lb = SprayLoadBalancer()
+    picks = [lb.pick(sw, _pkt(), [0, 1, 2]) for _ in range(6)]
+    assert picks == [0, 1, 2, 0, 1, 2]
+
+
+def test_weighted_follows_capacity():
+    sw = _switch()
+    lb = WeightedLoadBalancer({0: 9.0, 1: 1.0}, seed=3)
+    picks = [lb.pick(sw, _pkt(), [0, 1]) for _ in range(500)]
+    frac0 = picks.count(0) / len(picks)
+    assert 0.82 <= frac0 <= 0.97
+
+
+def test_single_candidate_short_circuits():
+    sw = _switch()
+    for lb in (EcmpLoadBalancer(), AdaptiveLoadBalancer(),
+               SprayLoadBalancer()):
+        assert lb.pick(sw, _pkt(), [2]) == 2
+
+
+def test_factory():
+    assert isinstance(make_load_balancer("ecmp"), EcmpLoadBalancer)
+    assert isinstance(make_load_balancer("ar"), AdaptiveLoadBalancer)
+    assert isinstance(make_load_balancer("spray"), SprayLoadBalancer)
+    with pytest.raises(ValueError):
+        make_load_balancer("nope")
+
+
+class TestFlowlet:
+    def _switch_with_sim(self):
+        sw = _switch()
+        return sw
+
+    def test_sticky_within_gap(self):
+        from repro.net.routing import FlowletLoadBalancer
+        sw = self._switch_with_sim()
+        lb = FlowletLoadBalancer(gap_ns=1_000)
+        first = lb.pick(sw, _pkt(flow_id=3), [0, 1, 2, 3])
+        # back-to-back packets (sim clock unchanged) stay on the path
+        for _ in range(5):
+            assert lb.pick(sw, _pkt(flow_id=3), [0, 1, 2, 3]) == first
+
+    def test_switches_after_gap(self):
+        from repro.net.routing import FlowletLoadBalancer
+        sw = self._switch_with_sim()
+        lb = FlowletLoadBalancer(gap_ns=100)
+        p = _pkt(flow_id=3)
+        first = lb.pick(sw, p, [0, 1])
+        # make the current path congested, then let the flowlet expire
+        sw.ports[first].queues[0].push(_pkt())
+        sw.ports[first].queues[0].push(_pkt())
+        sw.sim.schedule(1_000, lambda: None)
+        sw.sim.run()
+        assert sw.sim.now >= 100
+        second = lb.pick(sw, _pkt(flow_id=3), [0, 1])
+        assert second != first
+        assert lb.flowlet_switches == 1
+
+    def test_continuous_flow_uses_one_path(self):
+        """The paper's point: RDMA flows rarely pause, so flowlet LB
+        degenerates to a single path (unlike spraying)."""
+        from repro.net.routing import FlowletLoadBalancer
+        sw = self._switch_with_sim()
+        lb = FlowletLoadBalancer(gap_ns=50_000)
+        picks = {lb.pick(sw, _pkt(flow_id=9), [0, 1, 2, 3])
+                 for _ in range(200)}
+        assert len(picks) == 1
+
+    def test_gap_validation(self):
+        from repro.net.routing import FlowletLoadBalancer
+        with pytest.raises(ValueError):
+            FlowletLoadBalancer(gap_ns=0)
+
+    def test_factory_knows_flowlet(self):
+        from repro.net.routing import FlowletLoadBalancer
+        assert isinstance(make_load_balancer("flowlet"), FlowletLoadBalancer)

@@ -1,0 +1,162 @@
+"""Unit tests for tracing, time-series sampling and failure injection."""
+
+import pytest
+
+from repro.analysis.timeseries import Sampler, Series, watch_switch_queues
+from repro.experiments.common import build_network
+from repro.net.failures import FailureInjector
+from repro.sim import trace
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecord, Tracer
+
+
+class TestTracer:
+    def teardown_method(self):
+        trace.install(None)
+
+    def test_disabled_by_default(self):
+        assert trace.active() is None
+        trace.emit(0, "tx", "x")  # must be a silent no-op
+
+    def test_records_collected(self):
+        tracer = Tracer()
+        trace.install(tracer)
+        trace.emit(10, "trim", "leaf0", flow_id=3, psn=7)
+        trace.emit(20, "drop", "leaf0", flow_id=4, psn=1, reason="forced")
+        assert len(tracer.records) == 2
+        assert tracer.by_category("trim")[0].detail["psn"] == 7
+
+    def test_category_filter(self):
+        tracer = Tracer(categories={"trim"})
+        trace.install(tracer)
+        trace.emit(0, "trim", "x", flow_id=1)
+        trace.emit(0, "drop", "x", flow_id=1)
+        assert [r.category for r in tracer.records] == ["trim"]
+
+    def test_flow_filter_and_timeline(self):
+        tracer = Tracer(flow_ids={5})
+        trace.install(tracer)
+        trace.emit(0, "trim", "x", flow_id=5)
+        trace.emit(1, "trim", "x", flow_id=6)
+        assert len(tracer.flow_timeline(5)) == 1
+        assert tracer.flow_timeline(6) == []
+
+    def test_max_records_bound(self):
+        tracer = Tracer(max_records=2)
+        trace.install(tracer)
+        for i in range(5):
+            trace.emit(i, "tx", "x")
+        assert len(tracer.records) == 2
+        assert tracer.dropped_records == 3
+
+    def test_switch_emits_trim_records(self):
+        tracer = Tracer(categories={"trim"})
+        trace.install(tracer)
+        net = build_network(transport="dcp", topology="clos", num_hosts=8,
+                            num_leaves=2, num_spines=2, link_rate=10.0,
+                            lb="ar", seed=3, buffer_bytes=300_000)
+        flows = [net.open_flow(s, 7, 60_000, 0) for s in range(4)]
+        net.run_until_flows_done(max_events=20_000_000)
+        assert all(f.completed for f in flows)
+        trims = net.fabric.switch_stats_sum("trimmed")
+        assert len(tracer.records) == trims > 0
+
+    def test_format(self):
+        tracer = Tracer()
+        trace.install(tracer)
+        trace.emit(100, "trim", "leaf0", psn=1)
+        assert "trim" in tracer.format()
+
+
+class TestSeries:
+    def test_stats(self):
+        s = Series("q")
+        for t, v in ((0, 0.0), (10, 10.0), (20, 0.0)):
+            s.append(t, v)
+        assert s.max() == 10.0
+        assert s.mean() == pytest.approx(10 / 3)
+        assert s.last() == 0.0
+        assert s.integral() == pytest.approx(100.0)
+
+    def test_empty(self):
+        s = Series("q")
+        assert s.max() == 0.0 and s.mean() == 0.0 and s.integral() == 0.0
+
+
+class TestSampler:
+    def test_samples_at_interval(self):
+        sim = Simulator()
+        state = {"v": 0}
+        sampler = Sampler(sim, interval_ns=100)
+        series = sampler.watch("v", lambda: state["v"])
+        sampler.start(until_ns=1_000)
+        sim.schedule(450, lambda: state.__setitem__("v", 7))
+        sim.run(until=2_000)
+        assert len(series.times_ns) == 11  # t=0..1000 inclusive
+        assert series.values[0] == 0
+        assert series.values[-1] == 7
+
+    def test_watch_switch_queues(self):
+        net = build_network(transport="dcp", topology="clos", num_hosts=8,
+                            num_leaves=2, num_spines=2, link_rate=10.0,
+                            lb="ar", seed=3, buffer_bytes=300_000)
+        sampler = Sampler(net.sim, interval_ns=5_000)
+        watch_switch_queues(sampler, net.fabric.switches[0], ports=[0, 1])
+        sampler.start(until_ns=500_000)
+        flows = [net.open_flow(s, 0, 60_000, 0) for s in (1, 2, 3, 4)]
+        net.run_until_flows_done(max_events=20_000_000)
+        data_series = sampler.series["leaf0.p0.data"]
+        assert data_series.max() > 0  # the incast built a queue
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            Sampler(Simulator(), interval_ns=0)
+
+
+class TestFailureInjector:
+    def test_link_failure_and_recovery(self):
+        net = build_network(transport="dcp", topology="testbed", num_hosts=4,
+                            cross_links=1, link_rate=10.0, lb="ecmp", seed=3,
+                            transport_overrides={"coarse_timeout_ns": 200_000})
+        injector = FailureInjector(net.sim)
+        sw1 = net.fabric.switches[0]
+        event = injector.fail_link(sw1, 2, at_ns=30_000,
+                                   recover_at_ns=500_000)
+        flow = net.open_flow(0, 2, 200_000, 0)
+        net.run_until_flows_done(max_events=20_000_000)
+        assert flow.completed
+        assert event.kind == "link"
+        assert sw1.ports[2].link.up
+
+    def test_routing_convergence_removes_port(self):
+        net = build_network(transport="dcp", topology="testbed", num_hosts=4,
+                            cross_links=2, link_rate=10.0, lb="ecmp", seed=3)
+        injector = FailureInjector(net.sim)
+        sw1 = net.fabric.switches[0]
+        injector.fail_link(sw1, 3, at_ns=0, recover_at_ns=100_000,
+                           converge_routing=True)
+        net.sim.run(until=50_000)
+        assert all(3 not in ports or len(ports) == 1
+                   for ports in sw1.routing_table.values())
+        net.sim.run(until=200_000)
+        assert any(3 in ports for ports in sw1.routing_table.values())
+
+    def test_switch_blackout(self):
+        net = build_network(transport="dcp", topology="clos", num_hosts=8,
+                            num_leaves=2, num_spines=2, link_rate=10.0,
+                            lb="ar", seed=3,
+                            transport_overrides={"coarse_timeout_ns": 200_000})
+        injector = FailureInjector(net.sim)
+        spine = net.fabric.switches[2]
+        injector.fail_switch(spine, at_ns=10_000, recover_at_ns=800_000)
+        flow = net.open_flow(0, 7, 150_000, 0)
+        net.run_until_flows_done(max_events=20_000_000)
+        assert flow.completed
+
+    def test_unwired_port_rejected(self):
+        sim = Simulator()
+        from repro.net.routing import EcmpLoadBalancer
+        from repro.net.switch import Switch, SwitchConfig
+        sw = Switch(sim, 0, SwitchConfig(num_ports=2), EcmpLoadBalancer())
+        with pytest.raises(ValueError):
+            FailureInjector(sim).fail_link(sw, 0, at_ns=0)

@@ -1,0 +1,147 @@
+"""Unit tests for the three packet-tracking schemes (§4.5, Fig 6)."""
+
+import pytest
+
+from repro.core.tracking import (BdpBitmapTracker, CounterTracker,
+                                 LinkedChunkTracker)
+
+
+class TestBdpBitmap:
+    def test_record_and_duplicate(self):
+        t = BdpBitmapTracker(window_pkts=64)
+        assert t.record(0)
+        assert not t.record(0)
+
+    def test_out_of_order_within_window(self):
+        t = BdpBitmapTracker(window_pkts=64)
+        assert t.record(5)
+        assert t.record(1)
+        assert t.record(0)
+
+    def test_advance_slides_head(self):
+        t = BdpBitmapTracker(window_pkts=8)
+        for psn in (0, 1, 2):
+            t.record(psn)
+        assert t.advance() == 3
+        assert t.record(8)  # window now covers [3, 11)
+
+    def test_beyond_window_rejected(self):
+        t = BdpBitmapTracker(window_pkts=8)
+        with pytest.raises(ValueError):
+            t.record(8)
+
+    def test_before_head_is_duplicate(self):
+        t = BdpBitmapTracker(window_pkts=8)
+        t.record(0)
+        t.advance()
+        assert not t.record(0)
+
+    def test_constant_access_cost(self):
+        t = BdpBitmapTracker(window_pkts=512)
+        assert t.access_steps(0) == t.access_steps(511) == 2
+
+    def test_memory_is_window_bits(self):
+        assert BdpBitmapTracker(window_pkts=2560).memory_bits == 2560
+
+
+class TestLinkedChunk:
+    def test_grows_on_demand(self):
+        t = LinkedChunkTracker(chunk_bits=16)
+        assert t.memory_bits == 16
+        t.record(40)  # chunk index 2
+        assert t.memory_bits == 48
+
+    def test_access_cost_grows_with_ooo(self):
+        t = LinkedChunkTracker(chunk_bits=16)
+        assert t.access_steps(0) == 2
+        assert t.access_steps(40) == 4
+        assert t.access_steps(160) == 12
+
+    def test_duplicates(self):
+        t = LinkedChunkTracker(chunk_bits=16)
+        assert t.record(3)
+        assert not t.record(3)
+
+    def test_advance_frees_leading_chunks(self):
+        t = LinkedChunkTracker(chunk_bits=4)
+        for psn in range(4):
+            t.record(psn)
+        t.record(6)
+        head = t.advance()
+        assert head == 4
+        assert t.record(5)
+
+    def test_before_head_duplicate(self):
+        t = LinkedChunkTracker(chunk_bits=4)
+        for psn in range(4):
+            t.record(psn)
+        t.advance()
+        assert not t.record(0)
+
+
+class TestCounterTracker:
+    def test_message_completion(self):
+        t = CounterTracker()
+        assert not t.record(0, expected_pkts=3, sretry_no=0)
+        assert not t.record(0, expected_pkts=3, sretry_no=0)
+        assert t.record(0, expected_pkts=3, sretry_no=0)
+
+    def test_any_order_counts(self):
+        t = CounterTracker()
+        # counting is order-free: the whole point of order-tolerant rx
+        done = [t.record(0, 3, 0) for _ in range(3)]
+        assert done == [False, False, True]
+
+    def test_emsn_advances_in_order_only(self):
+        t = CounterTracker()
+        assert t.record(1, 1, 0)          # message 1 completes first (OOO)
+        assert t.advance_emsn()[0] == 0   # eMSN must wait for message 0
+        assert t.completed_out_of_order == 1
+        assert t.record(0, 1, 0)
+        emsn, cqes = t.advance_emsn()
+        assert emsn == 2
+        assert cqes == [0, 1]
+
+    def test_stale_message_ignored(self):
+        t = CounterTracker()
+        t.record(0, 1, 0)
+        t.advance_emsn()
+        assert not t.record(0, 1, 0)  # msn < eMSN
+
+    def test_completed_message_ignores_extras(self):
+        t = CounterTracker()
+        t.record(1, 1, 0)
+        assert not t.record(1, 1, 0)
+
+    def test_sretry_reset_recounts(self):
+        # §4.5: a newer retry round resets the counter.
+        t = CounterTracker()
+        t.record(0, 3, sretry_no=0)
+        t.record(0, 3, sretry_no=0)
+        assert not t.record(0, 3, sretry_no=1)  # reset, count = 1
+        assert not t.record(0, 3, sretry_no=1)
+        assert t.record(0, 3, sretry_no=1)
+
+    def test_stale_retry_round_dropped(self):
+        t = CounterTracker()
+        t.record(0, 3, sretry_no=2)
+        before = t.tracks[0].counter
+        assert not t.record(0, 3, sretry_no=1)
+        assert t.tracks[0].counter == before
+
+    def test_memory_is_tiny(self):
+        # 8 messages x 2 B (Table 3's 32 B per QP, §4.5) + eMSN register
+        t = CounterTracker(tracked_messages=8)
+        assert t.memory_bits == 8 * 16 + 24
+        assert t.memory_bits // 8 <= 32 + 3
+
+    def test_constant_access(self):
+        t = CounterTracker()
+        assert t.access_steps() == 2
+
+    def test_counter_overcount_guarded_by_mcf(self):
+        t = CounterTracker()
+        assert t.record(0, 2, 0) is False
+        assert t.record(0, 2, 0) is True
+        # further packets of a complete message do not re-complete it
+        assert t.record(0, 2, 0) is False

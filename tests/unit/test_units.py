@@ -1,0 +1,41 @@
+"""Unit tests for unit conversions."""
+
+import pytest
+
+from repro.sim import units
+
+
+def test_serialization_100g():
+    # 1000 bytes at 100 Gbps = 8000 bits / 100 bits-per-ns = 80 ns
+    assert units.serialization_ns(1000, 100.0) == 80
+
+
+def test_serialization_rounds_up():
+    # 1 byte at 100 Gbps = 0.08 ns -> must round to at least 1 ns
+    assert units.serialization_ns(1, 100.0) >= 1
+
+
+def test_serialization_10g():
+    assert units.serialization_ns(1000, 10.0) == 800
+
+
+def test_serialization_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        units.serialization_ns(100, 0)
+
+
+def test_fiber_delay_matches_paper_footnote():
+    # Footnote 3: 1 km of fiber ~ 5 us one-hop delay.
+    assert units.fiber_delay_ns(1.0) == 5_000
+    assert units.fiber_delay_ns(10.0) == 50_000
+
+
+def test_bdp():
+    # 100 Gbps x 10 us = 125 KB
+    assert units.bdp_bytes(100.0, 10_000) == 125_000
+
+
+def test_time_constants():
+    assert units.US == 1_000
+    assert units.MS == 1_000_000
+    assert units.SEC == 1_000_000_000
