@@ -5,12 +5,38 @@ Each benchmark regenerates one of the paper's tables or figures at the
 wins, roughly by how much).  Simulation benchmarks run a single round:
 the interesting number is the regenerated table, not the harness's own
 wall time.
+
+Benchmarks execute through :class:`repro.runner.ExperimentRunner` with
+the cache *disabled* — a benchmark that read its result from disk would
+time nothing.  Set ``REPRO_BENCH_JOBS=N`` to fan sweep-aware
+experiments out over N processes (results are identical either way;
+only wall time changes).
 """
 
 from __future__ import annotations
 
+import inspect
+import os
+
+from repro.runner import ExperimentRunner, ResultCache
+
+
+def bench_runner() -> ExperimentRunner:
+    """Cache-free runner honouring ``REPRO_BENCH_JOBS`` (default serial)."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return ExperimentRunner(jobs=jobs, cache=ResultCache(enabled=False))
+
+
+def _accepts_runner(fn) -> bool:
+    params = inspect.signature(fn).parameters
+    return ("runner" in params
+            or any(p.kind is inspect.Parameter.VAR_KEYWORD
+                   for p in params.values()))
+
 
 def run_once(benchmark, fn, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
+    if _accepts_runner(fn):
+        kwargs.setdefault("runner", bench_runner())
     return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1,
                               warmup_rounds=0)

@@ -6,10 +6,18 @@ Builds a 16-host leaf-spine network with DCP-Switches (packet trimming
 and prints per-flow completion statistics plus switch-side trimming
 counters.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--jobs N] [--cache-dir DIR]
+
+With ``--jobs`` the script finishes with a small loss-rate sweep pushed
+through the parallel experiment runner (``repro.runner``): each sweep
+point is hashed, simulated in a worker process and cached on disk, so a
+second invocation replays instantly from cache.
 """
 
-from repro.experiments.common import build_network
+import argparse
+
+from repro.experiments.common import NetworkSpec, build_network
+from repro.runner import ExperimentRunner, ResultCache, SweepPoint
 
 
 def main() -> None:
@@ -50,5 +58,38 @@ def main() -> None:
           "no RTOs, no spurious retransmissions.")
 
 
+def sweep_demo(jobs: int, cache_dir: str | None) -> None:
+    """Run a 4-point loss sweep through the parallel runner."""
+    loss_rates = (0.0, 0.005, 0.01, 0.02)
+    points = [
+        SweepPoint(
+            f"loss{loss:g}",
+            NetworkSpec(transport="dcp", lb="ar", topology="clos",
+                        num_hosts=16, num_leaves=2, num_spines=2,
+                        link_rate=10.0, seed=42, loss_rate=loss),
+            {"flows": [[0, 9, 1_000_000, 0]]})
+        for loss in loss_rates
+    ]
+    runner = ExperimentRunner(jobs=jobs, cache=ResultCache(root=cache_dir))
+    payloads = runner.run_points("quickstart", points,
+                                 "repro.runner.points.simulate_flows")
+    print(f"\nloss sweep via repro.runner ({jobs} jobs):")
+    print(f"{'loss':>6} {'FCT (us)':>10} {'goodput (Gbps)':>15} {'retx':>5}")
+    for loss, payload in zip(loss_rates, payloads):
+        rec = payload["flows"][0]
+        print(f"{loss:>6.1%} {rec['fct_ns'] / 1000:>10.1f} "
+              f"{rec['goodput_gbps']:>15.2f} {rec['retx_pkts']:>5}")
+    print(f"simulations executed: {runner.simulations_executed} "
+          f"(re-run to see them served from {runner.cache.root})")
+
+
 if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="also run the sweep demo on N worker processes")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache location for the sweep demo")
+    args = parser.parse_args()
     main()
+    if args.jobs:
+        sweep_demo(args.jobs, args.cache_dir)

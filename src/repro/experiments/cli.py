@@ -1,4 +1,12 @@
-"""Command-line entry point: ``dcp-experiment <key> [--preset NAME]``."""
+"""Command-line entry point: ``dcp-experiment <key> [--preset NAME]``.
+
+Sweep-aware experiments (those declaring sweep points, see
+:mod:`repro.experiments.registry`) execute through
+:class:`repro.runner.ExperimentRunner`: ``--jobs N`` fans their points
+out over N processes, and completed points are cached by spec hash in
+``--cache-dir`` (default ``~/.cache/repro``) so re-runs are free.
+Serial, parallel and cached runs produce bit-identical results.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +15,12 @@ import sys
 import time
 
 from repro.experiments.registry import REGISTRY, run_experiment
+from repro.runner import ExperimentRunner, ResultCache
+
+
+def build_runner(args: argparse.Namespace) -> ExperimentRunner:
+    cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache)
+    return ExperimentRunner(jobs=args.jobs, cache=cache)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -18,22 +32,48 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--preset", default="default",
                         choices=("quick", "default", "full"),
                         help="simulation scale preset")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep-aware experiments "
+                             "(default: 1, serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache location (default: ~/.cache/repro "
+                             "or $REPRO_CACHE_DIR)")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="wipe the result cache, then proceed (or exit "
+                             "if no experiment was given)")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    if args.clear_cache:
+        cache = ResultCache(root=args.cache_dir)
+        removed = cache.clear()
+        print(f"cleared {removed} cached results from {cache.root}")
+        if args.experiment == "list":
+            return 0
 
     if args.experiment == "list":
-        print(f"{'key':10s} {'paper':8s} sim  description")
+        print(f"{'key':10s} {'paper':8s} sim  sweep  description")
         for key, entry in REGISTRY.items():
             print(f"{key:10s} {entry.paper_ref:8s} "
                   f"{'yes' if entry.simulation else 'no ':3s}  "
+                  f"{'yes' if entry.has_sweep() else 'no ':5s}  "
                   f"{entry.description}")
         return 0
 
+    runner = build_runner(args)
     keys = list(REGISTRY) if args.experiment == "all" else [args.experiment]
     for key in keys:
         start = time.time()
-        result = run_experiment(key, preset=args.preset)
+        result = run_experiment(key, preset=args.preset, runner=runner)
         result.print_table()
         print(f"[{key} finished in {time.time() - start:.1f}s]\n")
+    stats = runner.cache.stats()
+    if runner.cache.enabled and (stats["hits"] or stats["misses"]):
+        print(f"[runner: {runner.simulations_executed} simulations executed, "
+              f"{stats['hits']} cache hits; cache at {runner.cache.root}]")
     return 0
 
 

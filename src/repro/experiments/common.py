@@ -7,7 +7,7 @@ generators) and reads the flow records back for analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Callable, Optional, Sequence
 
 from repro.cc.base import CongestionControl, StaticWindowCc, UnlimitedCc
@@ -83,6 +83,39 @@ class NetworkSpec:
 
     def is_dcp(self) -> bool:
         return self.transport == "dcp"
+
+    # ------------------------------------------------- stable serialization
+    def to_dict(self) -> dict:
+        """JSON-safe dict that round-trips through :meth:`from_dict`.
+
+        Field order is the declaration order (stable), ``cross_port_rates``
+        int keys become a sorted pair list (JSON objects only carry string
+        keys), and ``transport_overrides`` values must already be JSON
+        scalars.  Used by the runner's cache-key hashing, so any change
+        here invalidates every cached result — bump
+        :data:`repro.runner.cache.CACHE_VERSION` alongside.
+        """
+        out: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "cross_port_rates" and value is not None:
+                value = [[int(k), float(v)] for k, v in sorted(value.items())]
+            elif f.name == "transport_overrides":
+                value = dict(sorted(value.items()))
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NetworkSpec":
+        """Rebuild a spec from :meth:`to_dict` output (cache round-trip)."""
+        kwargs = dict(data)
+        unknown = set(kwargs) - {f.name for f in fields(cls)}
+        if unknown:
+            raise ValueError(f"unknown NetworkSpec fields {sorted(unknown)}")
+        rates = kwargs.get("cross_port_rates")
+        if rates is not None:
+            kwargs["cross_port_rates"] = {int(k): float(v) for k, v in rates}
+        return cls(**kwargs)
 
 
 class Network:
@@ -203,7 +236,8 @@ class Network:
                 raise ValueError("direct topology needs exactly 2 hosts")
             fab = build_direct(self.sim, self.hosts[0], self.hosts[1],
                                prop_delay_ns=spec.host_link_delay_ns,
-                               rate=spec.link_rate)
+                               rate=spec.link_rate, loss_rate=spec.loss_rate,
+                               loss_seed=spec.seed)
         else:
             raise ValueError(f"unknown topology {spec.topology!r}")
         fab.mtu_payload = spec.mtu_payload

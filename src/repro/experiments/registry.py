@@ -1,10 +1,23 @@
-"""Registry mapping every paper table/figure to its regeneration module."""
+"""Registry mapping every paper table/figure to its regeneration module.
+
+Sweep-aware experiments additionally export three module attributes the
+runner uses to shard them:
+
+* ``sweep(preset) -> list[SweepPoint]`` — the experiment's grid;
+* ``merge(payloads, preset) -> ExperimentResult`` — fold ordered point
+  payloads back into the table;
+* ``POINT_RUNNER`` — dotted path of the per-point worker function.
+
+Experiments without these run whole as before; ``run_experiment`` only
+forwards the runner to ``run`` functions that accept one.
+"""
 
 from __future__ import annotations
 
 import importlib
+import inspect
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable, Optional
 
 from repro.experiments.result import ExperimentResult
 
@@ -19,9 +32,21 @@ class ExperimentEntry:
     description: str
     simulation: bool          # False -> analytic, runs instantly
 
+    def load_module(self) -> Any:
+        return importlib.import_module(self.module)
+
     def load(self) -> Callable[..., ExperimentResult]:
-        mod = importlib.import_module(self.module)
-        return mod.run
+        return self.load_module().run
+
+    def load_sweep(self) -> Optional[tuple[Callable, Callable, str]]:
+        """``(sweep, merge, point_runner)`` for sweep-aware experiments."""
+        mod = self.load_module()
+        if not all(hasattr(mod, a) for a in ("sweep", "merge", "POINT_RUNNER")):
+            return None
+        return mod.sweep, mod.merge, mod.POINT_RUNNER
+
+    def has_sweep(self) -> bool:
+        return self.load_sweep() is not None
 
 
 REGISTRY: dict[str, ExperimentEntry] = {
@@ -68,15 +93,32 @@ REGISTRY: dict[str, ExperimentEntry] = {
 }
 
 
-def run_experiment(key: str, **kwargs) -> ExperimentResult:
-    """Run one experiment by key (e.g. ``fig13``)."""
+def get_entry(key: str) -> ExperimentEntry:
     try:
-        entry = REGISTRY[key]
+        return REGISTRY[key]
     except KeyError:
         raise ValueError(f"unknown experiment {key!r}; "
                          f"choose from {sorted(REGISTRY)}") from None
-    run = entry.load()
-    import inspect
+
+
+def sweep_points(key: str, preset: str = "default") -> Optional[list]:
+    """The sweep grid for ``key`` at ``preset``, or None if not sharded."""
+    from repro.experiments.presets import get_preset
+    hooks = get_entry(key).load_sweep()
+    if hooks is None:
+        return None
+    sweep, _merge, _pr = hooks
+    return sweep(get_preset(preset))
+
+
+def run_experiment(key: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by key (e.g. ``fig13``).
+
+    An ``ExperimentRunner`` passed as ``runner=`` reaches sweep-aware
+    experiments (parallel + cached execution); other keyword arguments
+    are filtered against the target's signature as before.
+    """
+    run = get_entry(key).load()
     params = inspect.signature(run).parameters
     accepted = {k: v for k, v in kwargs.items() if k in params}
     return run(**accepted)

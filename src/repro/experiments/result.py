@@ -32,7 +32,9 @@ class ExperimentResult:
         def fmt(value: Any) -> str:
             if isinstance(value, float):
                 return f"{value:.4g}"
-            if isinstance(value, tuple):
+            if isinstance(value, (tuple, list)):
+                # Lists appear when a row round-tripped through the
+                # runner's JSON cache (tuples have no JSON form).
                 return "~".join(fmt(v) for v in value)
             return str(value)
 
@@ -50,6 +52,28 @@ class ExperimentResult:
 
     def print_table(self) -> None:
         print(self.format_table())
+
+    # ------------------------------------------------- stable serialization
+    def to_payload(self) -> dict[str, Any]:
+        """Canonical JSON-safe form that round-trips via :meth:`from_payload`.
+
+        Tuples inside rows become lists (JSON has no tuple), so a result
+        rebuilt from the runner's cache compares equal — byte for byte
+        once serialized — to one produced by a fresh simulation.
+        """
+        from repro.runner.spec_hash import canonicalize
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "rows": canonicalize(self.rows),
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ExperimentResult":
+        return cls(experiment=payload["experiment"], title=payload["title"],
+                   rows=[dict(row) for row in payload["rows"]],
+                   notes=payload.get("notes", ""))
 
     def column(self, name: str) -> list[Any]:
         return [row.get(name) for row in self.rows]

@@ -8,6 +8,8 @@ only; serialization happens in the egress port that drives it.
 
 from __future__ import annotations
 
+import random
+import zlib
 from typing import TYPE_CHECKING, Protocol
 
 from repro.sim.engine import Simulator
@@ -23,19 +25,33 @@ class Device(Protocol):
 
 
 class Link:
-    """Unidirectional propagation channel."""
+    """Unidirectional propagation channel.
+
+    ``loss_rate`` injects random corruption drops on DATA packets, the
+    cable-level analogue of the switch's forced-loss testbed methodology
+    (Fig 10/17); control traffic is never dropped by injection, matching
+    :meth:`Switch._forward`.  Drops are drawn from a private RNG seeded
+    from ``(loss_seed, name)`` so a rebuilt topology replays the same
+    loss pattern.
+    """
 
     def __init__(self, sim: Simulator, dst: Device, dst_port: int,
-                 prop_delay_ns: int, name: str = "link") -> None:
+                 prop_delay_ns: int, name: str = "link",
+                 loss_rate: float = 0.0, loss_seed: int = 1) -> None:
         if prop_delay_ns < 0:
             raise ValueError("propagation delay must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
         self.sim = sim
         self.dst = dst
         self.dst_port = dst_port
         self.prop_delay_ns = prop_delay_ns
         self.name = name
+        self.loss_rate = loss_rate
+        self._loss_rng = random.Random(loss_seed ^ zlib.crc32(name.encode()))
         self.delivered_packets = 0
         self.delivered_bytes = 0
+        self.dropped_packets = 0
         self.up = True
 
     def deliver(self, packet: "Packet") -> None:
@@ -47,6 +63,12 @@ class Link:
         """
         if not self.up:
             return
+        if self.loss_rate > 0.0:
+            from repro.net.packet import PAYLOAD_KINDS
+            if (packet.kind in PAYLOAD_KINDS
+                    and self._loss_rng.random() < self.loss_rate):
+                self.dropped_packets += 1
+                return
         self.delivered_packets += 1
         self.delivered_bytes += packet.size_bytes
         packet.hops += 1

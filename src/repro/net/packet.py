@@ -49,6 +49,12 @@ class PacketKind(enum.IntEnum):
     TCP_ACK = 10
 
 
+#: Payload-carrying kinds, the targets of forced loss injection
+#: (switch- or link-level); protocol control traffic is never dropped
+#: by injection.
+PAYLOAD_KINDS = frozenset({PacketKind.DATA, PacketKind.TCP_DATA})
+
+
 # --- header sizes (bytes), per footnote 6 of the paper -------------------
 ETH_HDR = 14
 IP_HDR = 20

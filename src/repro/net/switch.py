@@ -25,7 +25,7 @@ from typing import Optional
 
 from repro.net.ecn import EcnMarker, RedProfile
 from repro.net.link import Link
-from repro.net.packet import DcpTag, Packet, PacketKind
+from repro.net.packet import DcpTag, Packet, PacketKind, PAYLOAD_KINDS
 from repro.net.pfc import PfcConfig, PfcController
 from repro.net.port import EgressPort
 from repro.net.queues import ByteQueue, WrrScheduler
@@ -119,6 +119,11 @@ class Switch:
                                      self._send_pfc_frame)
         self.buffered_bytes = 0
 
+    def __repr__(self) -> str:
+        # Stable across processes: link names derive from device reprs
+        # (see Host.__repr__), so never fall back to the address form.
+        return self.name
+
     # ------------------------------------------------------------- wiring
     def attach(self, port_idx: int, link: Link, neighbor, neighbor_port: int) -> None:
         """Connect egress ``port_idx`` to ``link`` toward ``neighbor``."""
@@ -153,7 +158,7 @@ class Switch:
             return
 
         # Forced loss injection (Fig 10/17 testbed methodology).
-        if (self.config.loss_rate > 0.0 and packet.kind is PacketKind.DATA
+        if (self.config.loss_rate > 0.0 and packet.kind in PAYLOAD_KINDS
                 and self._loss_rng.random() < self.config.loss_rate):
             if self.config.enable_trimming and packet.dcp_tag is DcpTag.DCP_DATA:
                 packet.trim()

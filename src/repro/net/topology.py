@@ -47,15 +47,18 @@ class Fabric:
 
 
 def full_duplex(sim: Simulator, a, a_port: int, b, b_port: int,
-                prop_delay_ns: int, attach_a=None, attach_b=None) -> tuple[Link, Link]:
+                prop_delay_ns: int, attach_a=None, attach_b=None,
+                loss_rate: float = 0.0, loss_seed: int = 1) -> tuple[Link, Link]:
     """Create the two directed links of a cable between ``a`` and ``b``.
 
     ``attach_a``/``attach_b`` are callables ``(link, peer, peer_port)``
     used to register the egress side on each device; switches use
     :meth:`Switch.attach`, hosts attach the link to their NIC.
     """
-    ab = Link(sim, b, b_port, prop_delay_ns, name=f"{a}->{b}")
-    ba = Link(sim, a, a_port, prop_delay_ns, name=f"{b}->{a}")
+    ab = Link(sim, b, b_port, prop_delay_ns, name=f"{a}->{b}",
+              loss_rate=loss_rate, loss_seed=loss_seed)
+    ba = Link(sim, a, a_port, prop_delay_ns, name=f"{b}->{a}",
+              loss_rate=loss_rate, loss_seed=loss_seed)
     if attach_a is not None:
         attach_a(ab)
     if attach_b is not None:
@@ -82,12 +85,18 @@ def _wire_switch_to_switch(sim: Simulator, a: Switch, a_port: int,
 
 
 def build_direct(sim: Simulator, host_a, host_b, prop_delay_ns: int = 500,
-                 rate: float = 100.0) -> Fabric:
-    """Two hosts back-to-back (the Fig 8 perftest setup)."""
+                 rate: float = 100.0, loss_rate: float = 0.0,
+                 loss_seed: int = 1) -> Fabric:
+    """Two hosts back-to-back (the Fig 8 perftest setup).
+
+    With no switch in the path, forced loss (``loss_rate``) is injected
+    at the cable itself — see :class:`repro.net.link.Link`.
+    """
     full_duplex(
         sim, host_a, 0, host_b, 0, prop_delay_ns,
         attach_a=lambda link: setattr(host_a.nic, "link", link),
         attach_b=lambda link: setattr(host_b.nic, "link", link),
+        loss_rate=loss_rate, loss_seed=loss_seed,
     )
     return Fabric(sim, hosts=[host_a, host_b], switches=[], host_rate=rate,
                   base_oneway_ns=lambda s, d: prop_delay_ns)

@@ -501,3 +501,9 @@ class Host(Entity):
             self.nic.resume()
         else:
             self.transport.on_packet(packet)
+
+    def __repr__(self) -> str:
+        # Stable across processes: link names derive from device reprs,
+        # and the link loss RNG is seeded from its name — an
+        # address-based default repr would break run-to-run determinism.
+        return f"host{self.host_id}"

@@ -1,0 +1,112 @@
+"""On-disk JSON result cache for experiment sweep points.
+
+One file per cache key under ``~/.cache/repro`` (or ``--cache-dir`` /
+``$REPRO_CACHE_DIR``).  Entries are written atomically (tempfile +
+``os.replace``) so parallel workers and concurrent CLI invocations
+never observe torn files; a corrupt or version-mismatched entry reads
+as a miss and is rewritten on the next run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+#: Bump whenever simulation semantics or payload encodings change in a
+#: way that makes previously cached results wrong.
+CACHE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` result envelopes, sharded two-deep."""
+
+    def __init__(self, root: Optional[Path] = None, enabled: bool = True) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        # Shard on the trailing hash characters so one experiment's
+        # points spread across subdirectories.
+        return self.root / key[-2:] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Cached payload for ``key``, or None on a miss."""
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                envelope = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (not isinstance(envelope, dict)
+                or envelope.get("version") != CACHE_VERSION
+                or envelope.get("key") != key):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return envelope["payload"]
+
+    def put(self, key: str, payload: Any) -> None:
+        """Persist ``payload`` (must be JSON-safe) under ``key``."""
+        if not self.enabled:
+            return
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"version": CACHE_VERSION, "key": key, "payload": payload}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(envelope, fh, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for sub in self.root.iterdir():
+            if sub.is_dir():
+                try:
+                    sub.rmdir()
+                except OSError:
+                    pass  # non-empty (foreign files) — leave it
+        return removed
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores}

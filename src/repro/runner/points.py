@@ -1,0 +1,53 @@
+"""Reusable point runners: module-level ``fn(spec, params) -> payload``.
+
+Point runners execute inside pool workers, so they live at module level
+(picklable by dotted path) and must return JSON-safe payloads.  The
+generic :func:`simulate_flows` covers the common "open N flows, drain,
+report per-flow stats" shape used by the conformance suite, the runner
+tests and the quickstart sweep demo; figure-specific runners live next
+to their experiment modules.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.fct import goodput_gbps
+from repro.experiments.common import Network, NetworkSpec
+
+
+def simulate_flows(spec: NetworkSpec, params: dict) -> dict[str, Any]:
+    """Build ``spec``'s network, run the declared flows, report stats.
+
+    ``params``::
+
+        {"flows": [[src, dst, size_bytes, start_ns], ...],
+         "max_events": 20_000_000,      # optional drain budget
+         "settle_ns": 0}                # optional post-completion drain
+
+    The payload carries one record per flow, in posting order, plus the
+    total events processed — enough for byte-accounting assertions and
+    goodput/FCT analysis without re-running anything.
+    """
+    net = Network(spec)
+    flows = [net.open_flow(int(src), int(dst), int(size), int(start))
+             for src, dst, size, start in params["flows"]]
+    net.run_until_flows_done(max_events=int(params.get("max_events", 20_000_000)),
+                             settle_ns=int(params.get("settle_ns", 0)))
+    records = []
+    for f in flows:
+        records.append({
+            "src": f.src,
+            "dst": f.dst,
+            "size_bytes": f.size_bytes,
+            "start_ns": f.start_ns,
+            "completed": f.completed,
+            "fct_ns": f.fct_ns() if f.completed else None,
+            "goodput_gbps": goodput_gbps(f) if f.completed else 0.0,
+            "rx_bytes": f.rx_bytes,
+            "retx_pkts": f.stats.retx_pkts_sent,
+            "timeouts": f.stats.timeouts,
+            "dup_pkts_received": f.stats.dup_pkts_received,
+        })
+    return {"flows": records, "events": net.sim.events_processed,
+            "end_ns": net.sim.now}

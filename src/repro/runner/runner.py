@@ -1,0 +1,154 @@
+"""Parallel experiment execution with spec-hash result caching.
+
+The runner turns an experiment into a list of :class:`SweepPoint`\\ s —
+one :class:`NetworkSpec` plus JSON-safe parameters each — and executes
+them either inline or across a ``multiprocessing`` pool.  Three
+properties hold by construction:
+
+* **Determinism** — a point's result depends only on ``(spec, params)``.
+  All randomness inside a simulation flows from ``spec.seed`` through
+  :class:`repro.sim.rng.SeedSequence`; the worker additionally reseeds
+  the *global* :mod:`random` module from a per-point
+  ``SeedSequence`` spawn, so results never depend on which pool worker
+  picked the point up.  Serial and ``--jobs N`` runs are bit-identical.
+* **Caching** — each point is keyed by the canonical hash of
+  ``(experiment, point_id, spec, params)`` and its payload persisted to
+  an on-disk JSON cache.  A re-run with an unchanged spec executes zero
+  simulations.
+* **Deterministic merge** — results are returned in sweep-point order
+  regardless of worker completion order, and every payload is passed
+  through :func:`canonicalize` whether it came from a worker, the
+  inline path or the cache, so the merge input is identical either way.
+"""
+
+from __future__ import annotations
+
+import importlib
+import random as _global_random
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Callable, Optional, Sequence
+
+from repro.experiments.common import NetworkSpec
+from repro.runner.cache import ResultCache
+from repro.runner.spec_hash import cache_key, canonicalize
+from repro.sim.rng import SeedSequence
+
+#: ``fork`` shares the warm interpreter with workers (cheap, and the
+#: parent's imports come along); ``spawn`` is the fallback where fork is
+#: unavailable.  Either way results are identical — see module docstring.
+_MP_METHODS = ("fork", "spawn")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One shardable unit of an experiment: a spec plus extra inputs.
+
+    ``params`` must be JSON-safe; it reaches the point runner verbatim
+    and participates in the cache key.
+    """
+
+    point_id: str
+    spec: NetworkSpec
+    params: dict = field(default_factory=dict)
+
+
+def _resolve(dotted: str) -> Callable[[NetworkSpec, dict], Any]:
+    """Import ``pkg.module.fn`` and return ``fn``."""
+    module_name, _, fn_name = dotted.rpartition(".")
+    if not module_name:
+        raise ValueError(f"point runner {dotted!r} is not a dotted path")
+    fn = getattr(importlib.import_module(module_name), fn_name)
+    if not callable(fn):
+        raise TypeError(f"point runner {dotted!r} is not callable")
+    return fn
+
+
+def _execute_point(task: tuple[int, str, str, str, dict, dict]) -> tuple[int, Any]:
+    """Run one sweep point (top-level so it pickles into pool workers).
+
+    Reseeds the global RNG from a per-point ``SeedSequence`` spawn
+    first, so any component that (incorrectly) reaches for module-level
+    :mod:`random` still behaves identically under any worker schedule.
+    """
+    index, runner_path, experiment, point_id, spec_dict, params = task
+    seeds = SeedSequence(int(spec_dict.get("seed", 1))).spawn(
+        f"{experiment}:{point_id}")
+    _global_random.seed(seeds.stream("global-random").getrandbits(64))
+    spec = NetworkSpec.from_dict(spec_dict)
+    payload = _resolve(runner_path)(spec, params)
+    return index, canonicalize(payload)
+
+
+class ExperimentRunner:
+    """Executes sweep points with caching and optional parallelism.
+
+    ``jobs=1`` runs inline (no pool); ``jobs=N`` fans cache misses out
+    over N worker processes.  ``cache=None`` builds the default on-disk
+    cache; pass ``ResultCache(enabled=False)`` to disable reuse.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
+                 mp_method: Optional[str] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache if cache is not None else ResultCache()
+        if mp_method is None:
+            from multiprocessing import get_all_start_methods
+            available = get_all_start_methods()
+            mp_method = next(m for m in _MP_METHODS if m in available)
+        self.mp_method = mp_method
+        #: Simulations actually executed (cache misses) since construction.
+        self.simulations_executed = 0
+
+    # ----------------------------------------------------------- execution
+    def run_points(self, experiment: str, points: Sequence[SweepPoint],
+                   point_runner: str) -> list[Any]:
+        """Run every point, serving from cache; returns payloads in order.
+
+        ``point_runner`` is the dotted path of a module-level callable
+        ``fn(spec, params) -> payload`` — a path rather than a function
+        object so it pickles into pool workers under any start method.
+        """
+        keys = [cache_key(experiment, p.point_id, p.spec, p.params)
+                for p in points]
+        payloads: dict[int, Any] = {}
+        pending: list[tuple[int, str, str, str, dict, dict]] = []
+        for i, (point, key) in enumerate(zip(points, keys)):
+            cached = self.cache.get(key)
+            if cached is not None:
+                payloads[i] = cached
+            else:
+                pending.append((i, point_runner, experiment, point.point_id,
+                                point.spec.to_dict(), dict(point.params)))
+
+        if pending:
+            self.simulations_executed += len(pending)
+            if self.jobs > 1 and len(pending) > 1:
+                ctx = get_context(self.mp_method)
+                workers = min(self.jobs, len(pending))
+                with ctx.Pool(processes=workers) as pool:
+                    # Unordered for wall-clock; the index restores order.
+                    for index, payload in pool.imap_unordered(
+                            _execute_point, pending, chunksize=1):
+                        payloads[index] = payload
+                        self.cache.put(keys[index], payload)
+            else:
+                for task in pending:
+                    index, payload = _execute_point(task)
+                    payloads[index] = payload
+                    self.cache.put(keys[index], payload)
+
+        return [payloads[i] for i in range(len(points))]
+
+    def run_sweep(self, experiment: str, points: Sequence[SweepPoint],
+                  point_runner: str,
+                  merge: Callable[[list[Any]], Any]) -> Any:
+        """Run a whole sweep and merge the ordered payloads."""
+        return merge(self.run_points(experiment, points, point_runner))
+
+
+def serial_runner() -> ExperimentRunner:
+    """Inline runner with caching off — the drop-in for legacy call sites."""
+    return ExperimentRunner(jobs=1, cache=ResultCache(enabled=False))

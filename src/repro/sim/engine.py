@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Optional
+from typing import Callable, Iterator, Optional
 
 
 class CancelledToken:
@@ -28,7 +28,7 @@ class CancelledToken:
     __slots__ = ("cancelled",)
 
     def __init__(self) -> None:
-        self.cancelled = False
+        self.cancelled: bool = False
 
     def cancel(self) -> None:
         """Mark the event so the simulator discards it when due."""
@@ -48,9 +48,9 @@ class Simulator:
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: list[tuple[int, int, CancelledToken, Callable[[], None]]] = []
-        self._seq = itertools.count()
-        self._running = False
-        self.events_processed = 0
+        self._seq: Iterator[int] = itertools.count()
+        self._running: bool = False
+        self.events_processed: int = 0
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> CancelledToken:
         """Schedule ``callback`` to run ``delay`` ns from now.
@@ -145,9 +145,14 @@ class Entity:
         return self.sim.schedule(delay, callback)
 
 
-def run_until_quiet(sim: Simulator, guard: Callable[[], Any] = None,
+def run_until_quiet(sim: Simulator,
+                    guard: Optional[Callable[[], object]] = None,
                     max_events: int = 200_000_000) -> None:
-    """Drain the simulator completely (convenience for tests)."""
+    """Drain the simulator completely (convenience for tests).
+
+    ``guard``, when given, runs after the drain; it is expected to raise
+    (assert) if the simulation left bad state behind.
+    """
     sim.run(max_events=max_events)
     if guard is not None:
         guard()

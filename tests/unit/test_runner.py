@@ -1,0 +1,233 @@
+"""Unit tests for the parallel experiment runner and its result cache.
+
+Covers the three contracts of :mod:`repro.runner`: canonical spec
+hashing (stable cache keys), on-disk JSON caching (re-runs execute zero
+simulations), and deterministic merging (serial and ``jobs=4`` runs are
+bit-identical).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.common import NetworkSpec
+from repro.experiments.registry import get_entry, sweep_points
+from repro.experiments.result import ExperimentResult
+from repro.runner import (ExperimentRunner, ResultCache, SweepPoint,
+                          cache_key, canonical_json, canonicalize,
+                          serial_runner)
+from repro.runner.cache import CACHE_VERSION
+
+POINT_RUNNER = "repro.runner.points.simulate_flows"
+
+
+def _points(n: int = 4, seed0: int = 11) -> list[SweepPoint]:
+    """Cheap but non-trivial direct-topology points (distinct seeds)."""
+    return [
+        SweepPoint(
+            f"p{i}",
+            NetworkSpec(transport="dcp", topology="direct", num_hosts=2,
+                        link_rate=10.0, loss_rate=0.02, seed=seed0 + i),
+            {"flows": [[0, 1, 60_000, 0], [1, 0, 20_000, 5_000]]})
+        for i in range(n)
+    ]
+
+
+# --------------------------------------------------------- spec hashing
+class TestSpecHashing:
+    def test_canonicalize_normalizes_tuples_and_key_order(self):
+        a = canonicalize({"b": (1, 2), "a": {"y": 1, "x": (3,)}})
+        assert a == {"b": [1, 2], "a": {"y": 1, "x": [3]}}
+        assert (canonical_json({"a": 1, "b": 2})
+                == canonical_json({"b": 2, "a": 1}))
+
+    def test_canonicalize_rejects_non_json_values(self):
+        with pytest.raises(TypeError):
+            canonicalize(object())
+        with pytest.raises(TypeError):
+            canonicalize({"fn": lambda: None})
+
+    def test_cache_key_stable_and_sensitive(self):
+        spec = NetworkSpec(transport="irn", seed=3)
+        key = cache_key("fig99", "pt", spec, {"flows": [[0, 1, 10, 0]]})
+        assert key == cache_key("fig99", "pt", spec,
+                                {"flows": [[0, 1, 10, 0]]})
+        # every input participates in the key
+        assert key != cache_key("fig98", "pt", spec, {"flows": [[0, 1, 10, 0]]})
+        assert key != cache_key("fig99", "pt2", spec, {"flows": [[0, 1, 10, 0]]})
+        assert key != cache_key("fig99", "pt", NetworkSpec(transport="irn", seed=4),
+                                {"flows": [[0, 1, 10, 0]]})
+        assert key != cache_key("fig99", "pt", spec, {"flows": [[0, 1, 11, 0]]})
+
+    def test_cache_key_is_filesystem_safe(self):
+        spec = NetworkSpec()
+        key = cache_key("fig 1/7", "a:b*c", spec)
+        assert all(c.isalnum() or c in "-_." for c in key)
+
+    def test_spec_round_trips_through_dict(self):
+        spec = NetworkSpec(transport="rack_tlp", topology="testbed",
+                           cross_port_rates={3: 2.5, 0: 10.0},
+                           transport_overrides={"rto_ns": 5_000_000},
+                           window_bytes=123_456, loss_rate=0.01, seed=9)
+        clone = NetworkSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        # and the dict itself survives a JSON round trip
+        assert NetworkSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_spec_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            NetworkSpec.from_dict({"transport": "dcp", "warp_factor": 9})
+
+
+# ---------------------------------------------------------------- cache
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        assert cache.get("k" * 64) is None
+        cache.put("k" * 64, {"rows": [1, 2, 3]})
+        assert cache.get("k" * 64) == {"rows": [1, 2, 3]}
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        assert len(cache) == 1
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put("badentry", {"x": 1})
+        path = cache._path("badentry")
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get("badentry") is None
+
+    def test_version_mismatch_reads_as_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put("versioned", {"x": 1})
+        path = cache._path("versioned")
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        assert envelope["version"] == CACHE_VERSION
+        envelope["version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert cache.get("versioned") is None
+
+    def test_disabled_cache_never_stores(self, tmp_path):
+        cache = ResultCache(root=tmp_path, enabled=False)
+        cache.put("key", {"x": 1})
+        assert cache.get("key") is None
+        assert len(cache) == 0
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        for i in range(5):
+            cache.put(f"key{i}", {"i": i})
+        assert len(cache) == 5
+        assert cache.clear() == 5
+        assert len(cache) == 0
+        assert cache.get("key0") is None
+
+
+# --------------------------------------------------------------- runner
+class TestExperimentRunner:
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(jobs=0)
+
+    def test_serial_runner_executes_without_cache(self):
+        runner = serial_runner()
+        payloads = runner.run_points("unit", _points(2), POINT_RUNNER)
+        assert runner.simulations_executed == 2
+        assert all(rec["completed"] and rec["rx_bytes"] == rec["size_bytes"]
+                   for p in payloads for rec in p["flows"])
+
+    def test_second_run_is_served_entirely_from_cache(self, tmp_path):
+        points = _points(3)
+        first = ExperimentRunner(jobs=1, cache=ResultCache(root=tmp_path))
+        payloads1 = first.run_points("unit", points, POINT_RUNNER)
+        assert first.simulations_executed == 3
+
+        second = ExperimentRunner(jobs=1, cache=ResultCache(root=tmp_path))
+        payloads2 = second.run_points("unit", points, POINT_RUNNER)
+        assert second.simulations_executed == 0          # zero sims re-run
+        assert second.cache.hits == 3
+        assert payloads1 == payloads2
+
+    def test_spec_change_invalidates_only_that_point(self, tmp_path):
+        points = _points(3)
+        runner = ExperimentRunner(jobs=1, cache=ResultCache(root=tmp_path))
+        runner.run_points("unit", points, POINT_RUNNER)
+
+        changed = list(points)
+        changed[1] = SweepPoint(points[1].point_id,
+                                NetworkSpec(transport="irn", topology="direct",
+                                            num_hosts=2, link_rate=10.0,
+                                            loss_rate=0.02, seed=12),
+                                points[1].params)
+        rerun = ExperimentRunner(jobs=1, cache=ResultCache(root=tmp_path))
+        rerun.run_points("unit", changed, POINT_RUNNER)
+        assert rerun.simulations_executed == 1
+        assert rerun.cache.hits == 2
+
+
+# --------------------------------------------------- determinism (issue)
+class TestDeterminism:
+    def test_serial_and_parallel_payloads_are_bit_identical(self, tmp_path):
+        """Same NetworkSpec + seed: serial == --jobs 4, byte for byte."""
+        points = _points(6)
+        serial = ExperimentRunner(jobs=1,
+                                  cache=ResultCache(root=tmp_path / "s"))
+        parallel = ExperimentRunner(jobs=4,
+                                    cache=ResultCache(root=tmp_path / "p"))
+        payloads_s = serial.run_points("det", points, POINT_RUNNER)
+        payloads_p = parallel.run_points("det", points, POINT_RUNNER)
+        assert serial.simulations_executed == 6
+        assert parallel.simulations_executed == 6
+        assert canonical_json(payloads_s) == canonical_json(payloads_p)
+
+    def test_parallel_rerun_hits_serial_cache(self, tmp_path):
+        """Cache entries are interchangeable between serial and parallel."""
+        points = _points(4)
+        serial = ExperimentRunner(jobs=1, cache=ResultCache(root=tmp_path))
+        payloads_s = serial.run_points("det", points, POINT_RUNNER)
+
+        parallel = ExperimentRunner(jobs=4, cache=ResultCache(root=tmp_path))
+        payloads_p = parallel.run_points("det", points, POINT_RUNNER)
+        assert parallel.simulations_executed == 0        # all from cache
+        assert payloads_s == payloads_p
+
+    def test_fig8_serial_vs_parallel_results_identical(self, tmp_path):
+        """End to end through a registry experiment at quick scale."""
+        from repro.experiments.registry import run_experiment
+        res_s = run_experiment("fig8", preset="quick", runner=serial_runner())
+        runner_p = ExperimentRunner(jobs=4,
+                                    cache=ResultCache(root=tmp_path))
+        res_p = run_experiment("fig8", preset="quick", runner=runner_p)
+        assert canonical_json(res_s.to_payload()) == canonical_json(
+            res_p.to_payload())
+        # immediate re-run: the whole figure comes from cache
+        rerun = ExperimentRunner(jobs=4, cache=ResultCache(root=tmp_path))
+        res_c = run_experiment("fig8", preset="quick", runner=rerun)
+        assert rerun.simulations_executed == 0
+        assert canonical_json(res_c.to_payload()) == canonical_json(
+            res_s.to_payload())
+
+
+# ------------------------------------------------------ registry wiring
+class TestRegistryIntegration:
+    def test_sweep_aware_experiments_declare_points(self):
+        assert get_entry("fig8").has_sweep()
+        assert get_entry("fig17").has_sweep()
+        assert not get_entry("table1").has_sweep()
+
+    def test_sweep_points_shapes(self):
+        pts = sweep_points("fig17", preset="quick")
+        assert pts is not None and len(pts) == 7 * 4      # loss x scheme grid
+        assert len({p.point_id for p in pts}) == len(pts)
+        assert sweep_points("table1", preset="quick") is None
+
+    def test_result_payload_round_trip(self):
+        result = ExperimentResult("unit", "t", rows=[
+            {"a": 1, "span": (2, 3)}, {"a": 2, "span": (4, 5)}])
+        clone = ExperimentResult.from_payload(result.to_payload())
+        # tuples canonicalize to lists; the formatted table is unchanged
+        assert clone.rows[0]["span"] == [2, 3]
+        assert clone.format_table() == result.format_table()
+        assert clone.to_payload() == result.to_payload()
