@@ -70,17 +70,28 @@ class Sampler:
         self._stop_at = until_ns
         if not self._running:
             self._running = True
-            self._tick()
+            self._sample()
+            self.sim.schedule(self.interval_ns, self._tick)
 
     def stop(self) -> None:
         self._stop_at = self.sim.now
+
+    def _sample(self) -> None:
+        for name, probe in self._probes.items():
+            self.series[name].append(self.sim.now, float(probe()))
 
     def _tick(self) -> None:
         if self._stop_at is not None and self.sim.now > self._stop_at:
             self._running = False
             return
-        for name, probe in self._probes.items():
-            self.series[name].append(self.sim.now, float(probe()))
+        self._sample()
+        if self._stop_at is None and self.sim.peek_time() is None:
+            # Unbounded sampling with nothing else pending: the tick
+            # would keep the heap alive forever and every further
+            # sample would repeat this one.  Go dormant instead, so a
+            # run-to-empty simulation still terminates.
+            self._running = False
+            return
         self.sim.schedule(self.interval_ns, self._tick)
 
 

@@ -78,9 +78,25 @@ class DcpTransport(RnicTransport):
         super().__init__(sim, host_id, config)
         self._snd: dict[int, _DcpSendState] = {}
         self._rcv: dict[int, _DcpRecvState] = {}
-        self.ho_received = 0
-        self.ho_turned = 0
-        self.stale_ho = 0
+
+    # HO accounting lives in the registry-backed TransportStats block;
+    # these views keep the original attribute API for tests/experiments.
+    @property
+    def ho_received(self) -> int:
+        return self.stats.ho_received
+
+    @property
+    def ho_turned(self) -> int:
+        return self.stats.ho_turned
+
+    @property
+    def stale_ho(self) -> int:
+        return self.stats.stale_ho
+
+    def inflight_bytes(self) -> int:
+        # _DcpSendState tracks no snd_una (acking is message-granular),
+        # so the QP-level outstanding-byte accounting is authoritative.
+        return sum(qp.outstanding_bytes for qp in self.qps.values())
 
     # ---------------------------------------------------------------- state
     def _send_state(self, qp: QueuePair) -> _DcpSendState:
@@ -153,7 +169,7 @@ class DcpTransport(RnicTransport):
                 break
             entry = st.retransq.pop_ready()
             if entry.msn < st.acked_msn:
-                self.stale_ho += 1
+                self.stats.stale_ho += 1
                 continue
             return self._build_data(qp, st, entry.psn, is_retx=True)
 
@@ -205,16 +221,20 @@ class DcpTransport(RnicTransport):
             # We are the receiver: swap src/dst and bounce it to the sender
             # via the control-priority path (§4.1 step 2).
             packet.turn_around()
-            self.ho_turned += 1
+            self.stats.ho_turned += 1
+            trace.emit(self.now, "ho", self._actor, dir="turn",
+                       flow_id=packet.flow_id, psn=packet.psn)
             self.nic.send_control(packet)
             return
         # We are the sender: a precise loss notification arrived.
         st = self._send_state(qp)
-        self.ho_received += 1
+        self.stats.ho_received += 1
+        trace.emit(self.now, "ho", self._actor, dir="recv",
+                   flow_id=packet.flow_id, psn=packet.psn)
         msg = qp.psn_to_message(packet.psn)
         msg.flow.stats.trims_seen += 1
         if msg.msn < st.acked_msn:
-            self.stale_ho += 1
+            self.stats.stale_ho += 1
             return
         payload = msg.payload_of(packet.psn - msg.base_psn, self.config.mtu_payload)
         qp.outstanding_bytes = max(0, qp.outstanding_bytes - payload)

@@ -6,6 +6,19 @@ Sweep-aware experiments (those declaring sweep points, see
 out over N processes, and completed points are cached by spec hash in
 ``--cache-dir`` (default ``~/.cache/repro``) so re-runs are free.
 Serial, parallel and cached runs produce bit-identical results.
+
+Telemetry export:
+
+* ``--metrics-out FILE`` writes every point's counters/gauges/histograms
+  (plus sampled time series, with ``--sample-interval-ns``) as JSONL —
+  validate with ``python -m repro.obs.schema FILE``;
+* ``--trace-out FILE`` enables event tracing inside every point and
+  writes the records as JSONL.
+
+``--metrics-out`` alone changes nothing about the computation (counters
+are always on), so it serves from the same cache entries as an
+unflagged run.  Tracing and sampling *do* change the cache key: a traced
+point is a different computation.
 """
 
 from __future__ import annotations
@@ -15,12 +28,27 @@ import sys
 import time
 
 from repro.experiments.registry import REGISTRY, run_experiment
+from repro.obs import metrics, write_metrics_jsonl, write_trace_jsonl
+from repro.obs.export import tracer_payload
+from repro.obs.registry import MetricsRegistry
 from repro.runner import ExperimentRunner, ResultCache
+from repro.sim import trace
+
+
+def build_telemetry(args: argparse.Namespace) -> dict | None:
+    """The ``telemetry`` param injected into sweep points, or None."""
+    telemetry: dict = {}
+    if args.trace_out:
+        telemetry["trace"] = {"max_records": args.trace_max_records}
+    if args.sample_interval_ns > 0:
+        telemetry["sample_interval_ns"] = args.sample_interval_ns
+    return telemetry or None
 
 
 def build_runner(args: argparse.Namespace) -> ExperimentRunner:
     cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache)
-    return ExperimentRunner(jobs=args.jobs, cache=cache)
+    return ExperimentRunner(jobs=args.jobs, cache=cache,
+                            telemetry=build_telemetry(args))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -43,9 +71,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--clear-cache", action="store_true",
                         help="wipe the result cache, then proceed (or exit "
                              "if no experiment was given)")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write per-point metrics as JSONL "
+                             "(validate with python -m repro.obs.schema)")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="enable event tracing and write records as JSONL")
+    parser.add_argument("--trace-max-records", type=int, default=100_000,
+                        metavar="N",
+                        help="per-point trace record cap (default: 100000)")
+    parser.add_argument("--sample-interval-ns", type=int, default=0,
+                        metavar="NS",
+                        help="sample registered gauges every NS of simulated "
+                             "time into exported series (default: off)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.sample_interval_ns < 0:
+        parser.error("--sample-interval-ns must be >= 0")
 
     if args.clear_cache:
         cache = ResultCache(root=args.cache_dir)
@@ -64,12 +106,56 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     runner = build_runner(args)
-    keys = list(REGISTRY) if args.experiment == "all" else [args.experiment]
-    for key in keys:
-        start = time.time()
-        result = run_experiment(key, preset=args.preset, runner=runner)
-        result.print_table()
-        print(f"[{key} finished in {time.time() - start:.1f}s]\n")
+    exporting = args.metrics_out or args.trace_out
+    metrics_fh = open(args.metrics_out, "w") if args.metrics_out else None
+    trace_fh = open(args.trace_out, "w") if args.trace_out else None
+    metrics_lines = trace_lines = 0
+    try:
+        keys = (list(REGISTRY) if args.experiment == "all"
+                else [args.experiment])
+        for key in keys:
+            start = time.time()
+            # Non-sweep (analytic / inline) experiments never reach a
+            # point runner; give them a process-global registry/tracer
+            # so their component activity is still captured.
+            global_reg = global_tracer = None
+            prev_reg, prev_tracer = metrics.active(), trace.active()
+            if exporting:
+                global_reg = MetricsRegistry()
+                metrics.install(global_reg)
+                if trace_fh is not None:
+                    global_tracer = trace.Tracer(
+                        max_records=args.trace_max_records)
+                    trace.install(global_tracer)
+            try:
+                result = run_experiment(key, preset=args.preset,
+                                        runner=runner)
+            finally:
+                metrics.install(prev_reg)
+                trace.install(prev_tracer)
+            result.print_table()
+            print(f"[{key} finished in {time.time() - start:.1f}s]\n")
+
+            swept = (runner.last_experiment == key)
+            if metrics_fh is not None:
+                by_point = (runner.last_metrics if swept and runner.last_metrics
+                            else {"run": global_reg.to_payload()})
+                if not result.metrics:
+                    result.metrics = dict(by_point)
+                metrics_lines += write_metrics_jsonl(metrics_fh, key, by_point)
+            if trace_fh is not None:
+                by_point = (runner.last_traces if swept and runner.last_traces
+                            else {"run": tracer_payload(global_tracer)})
+                trace_lines += write_trace_jsonl(trace_fh, key, by_point)
+    finally:
+        if metrics_fh is not None:
+            metrics_fh.close()
+        if trace_fh is not None:
+            trace_fh.close()
+    if metrics_fh is not None:
+        print(f"[metrics: {metrics_lines} records -> {args.metrics_out}]")
+    if trace_fh is not None:
+        print(f"[trace: {trace_lines} records -> {args.trace_out}]")
     stats = runner.cache.stats()
     if runner.cache.enabled and (stats["hits"] or stats["misses"]):
         print(f"[runner: {runner.simulations_executed} simulations executed, "

@@ -121,4 +121,14 @@ def run_experiment(key: str, **kwargs) -> ExperimentResult:
     run = get_entry(key).load()
     params = inspect.signature(run).parameters
     accepted = {k: v for k, v in kwargs.items() if k in params}
-    return run(**accepted)
+    result = run(**accepted)
+    # Attach telemetry the runner harvested while executing *this*
+    # experiment's sweep (the last_experiment token guards against a
+    # runner reused across keys handing out stale metrics).
+    runner = kwargs.get("runner")
+    if (runner is not None
+            and getattr(runner, "last_experiment", None) == key
+            and getattr(runner, "last_metrics", None)
+            and not result.metrics):
+        result.metrics = dict(runner.last_metrics)
+    return result

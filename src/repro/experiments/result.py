@@ -14,6 +14,9 @@ class ExperimentResult:
     title: str
     rows: list[dict[str, Any]] = field(default_factory=list)
     notes: str = ""
+    #: point_id -> metrics payload (``MetricsRegistry.to_payload`` form);
+    #: attached by the CLI / run_experiment when telemetry was collected.
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     def columns(self) -> list[str]:
         cols: list[str] = []
@@ -67,13 +70,15 @@ class ExperimentResult:
             "title": self.title,
             "rows": canonicalize(self.rows),
             "notes": self.notes,
+            "metrics": canonicalize(self.metrics),
         }
 
     @classmethod
     def from_payload(cls, payload: dict[str, Any]) -> "ExperimentResult":
         return cls(experiment=payload["experiment"], title=payload["title"],
                    rows=[dict(row) for row in payload["rows"]],
-                   notes=payload.get("notes", ""))
+                   notes=payload.get("notes", ""),
+                   metrics=dict(payload.get("metrics", {})))
 
     def column(self, name: str) -> list[Any]:
         return [row.get(name) for row in self.rows]

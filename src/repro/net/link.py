@@ -12,6 +12,9 @@ import random
 import zlib
 from typing import TYPE_CHECKING, Protocol
 
+from repro.obs.registry import CounterBlock
+from repro.obs import registry as metrics
+from repro.sim import trace
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -24,6 +27,21 @@ class Device(Protocol):
     def receive(self, packet: "Packet", in_port: int) -> None: ...
 
 
+class LinkStats(CounterBlock):
+    """Per-link counters, registered as ``link.<name>.*``.
+
+    Injected-loss discards (``dropped_loss``) and down-link discards
+    (``dropped_link_down``) are counted separately: the former is the
+    Fig 10/17 testbed methodology, the latter a failure condition the
+    coarse-timeout fallback must survive — conflating them hid downed
+    links behind "expected" loss numbers.
+    """
+
+    FIELDS = ("delivered_packets", "delivered_bytes", "dropped_loss",
+              "dropped_link_down")
+    __slots__ = FIELDS
+
+
 class Link:
     """Unidirectional propagation channel.
 
@@ -32,7 +50,8 @@ class Link:
     (Fig 10/17); control traffic is never dropped by injection, matching
     :meth:`Switch._forward`.  Drops are drawn from a private RNG seeded
     from ``(loss_seed, name)`` so a rebuilt topology replays the same
-    loss pattern.
+    loss pattern.  Every discard — injected loss or a downed link —
+    emits a ``drop`` trace record with a ``reason`` field.
     """
 
     def __init__(self, sim: Simulator, dst: Device, dst_port: int,
@@ -49,28 +68,53 @@ class Link:
         self.name = name
         self.loss_rate = loss_rate
         self._loss_rng = random.Random(loss_seed ^ zlib.crc32(name.encode()))
-        self.delivered_packets = 0
-        self.delivered_bytes = 0
-        self.dropped_packets = 0
+        self.stats = LinkStats()
+        metrics.register_block(f"link.{name}", self.stats)
         self.up = True
+
+    # Attribute views kept for the pre-registry API (tests, experiments).
+    @property
+    def delivered_packets(self) -> int:
+        return self.stats.delivered_packets
+
+    @property
+    def delivered_bytes(self) -> int:
+        return self.stats.delivered_bytes
+
+    @property
+    def dropped_packets(self) -> int:
+        """Injected-loss discards (down-link discards count separately)."""
+        return self.stats.dropped_loss
+
+    @property
+    def dropped_link_down(self) -> int:
+        return self.stats.dropped_link_down
 
     def deliver(self, packet: "Packet") -> None:
         """Start propagating ``packet``; it arrives after the link delay.
 
-        A downed link (``up = False``) silently discards traffic, which
-        models the link/switch failures that DCP's coarse timeout
-        fallback (§4.5) must cover.
+        A downed link (``up = False``) discards traffic, which models
+        the link/switch failures that DCP's coarse timeout fallback
+        (§4.5) must cover — visibly: the discard is counted and traced.
         """
         if not self.up:
+            self.stats.dropped_link_down += 1
+            trace.emit(self.sim.now, "drop", self.name,
+                       flow_id=packet.flow_id, psn=packet.psn,
+                       reason="link_down")
             return
         if self.loss_rate > 0.0:
             from repro.net.packet import PAYLOAD_KINDS
             if (packet.kind in PAYLOAD_KINDS
                     and self._loss_rng.random() < self.loss_rate):
-                self.dropped_packets += 1
+                self.stats.dropped_loss += 1
+                trace.emit(self.sim.now, "drop", self.name,
+                           flow_id=packet.flow_id, psn=packet.psn,
+                           reason="loss")
                 return
-        self.delivered_packets += 1
-        self.delivered_bytes += packet.size_bytes
+        stats = self.stats
+        stats.delivered_packets += 1
+        stats.delivered_bytes += packet.size_bytes
         packet.hops += 1
         self.sim.schedule(self.prop_delay_ns,
                           lambda p=packet: self.dst.receive(p, self.dst_port))

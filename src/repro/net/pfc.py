@@ -19,9 +19,19 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.net.packet import Packet, PacketKind, PAUSE_FRAME_BYTES
+from repro.obs import registry as metrics
+from repro.obs.registry import CounterBlock
+from repro.sim import trace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
+
+
+class PfcStats(CounterBlock):
+    """PFC frame counters, registered as ``pfc.<name>.*``."""
+
+    FIELDS = ("pause_frames", "resume_frames")
+    __slots__ = FIELDS
 
 
 @dataclass(frozen=True)
@@ -61,16 +71,29 @@ class PfcController:
     """
 
     def __init__(self, sim: "Simulator", num_ports: int, config: PfcConfig,
-                 send_frame: Callable[[int, Packet], None]) -> None:
+                 send_frame: Callable[[int, Packet], None],
+                 name: str = "pfc") -> None:
         self.sim = sim
         self.config = config
         self.send_frame = send_frame
+        self.name = name
         self.ingress_bytes = [0] * num_ports
         self.pause_sent = [False] * num_ports
-        self.pause_frames = 0
-        self.resume_frames = 0
+        self.stats = PfcStats()
+        metrics.register_block(f"pfc.{name}", self.stats)
+        metrics.gauge(f"pfc.{name}.paused_ports",
+                      lambda: float(sum(self.pause_sent)))
         self.paused_time_ns = [0] * num_ports
         self._pause_start = [0] * num_ports
+
+    # Attribute views kept for the pre-registry API.
+    @property
+    def pause_frames(self) -> int:
+        return self.stats.pause_frames
+
+    @property
+    def resume_frames(self) -> int:
+        return self.stats.resume_frames
 
     def charge(self, in_port: int, packet: Packet) -> None:
         """Account a packet buffered after arriving on ``in_port``."""
@@ -80,8 +103,10 @@ class PfcController:
         if (not self.pause_sent[in_port]
                 and self.ingress_bytes[in_port] > self.config.xoff_bytes):
             self.pause_sent[in_port] = True
-            self.pause_frames += 1
+            self.stats.pause_frames += 1
             self._pause_start[in_port] = self.sim.now
+            trace.emit(self.sim.now, "pfc", self.name, action="pause",
+                       port=in_port, ingress_bytes=self.ingress_bytes[in_port])
             self.send_frame(in_port, make_pause(self.config.priority))
 
     def release(self, in_port: int, packet: Packet) -> None:
@@ -92,6 +117,8 @@ class PfcController:
         if (self.pause_sent[in_port]
                 and self.ingress_bytes[in_port] <= self.config.xon_bytes):
             self.pause_sent[in_port] = False
-            self.resume_frames += 1
+            self.stats.resume_frames += 1
             self.paused_time_ns[in_port] += self.sim.now - self._pause_start[in_port]
+            trace.emit(self.sim.now, "pfc", self.name, action="resume",
+                       port=in_port, ingress_bytes=self.ingress_bytes[in_port])
             self.send_frame(in_port, make_resume(self.config.priority))

@@ -29,6 +29,8 @@ from repro.net.packet import DcpTag, Packet, PacketKind, PAYLOAD_KINDS
 from repro.net.pfc import PfcConfig, PfcController
 from repro.net.port import EgressPort
 from repro.net.queues import ByteQueue, WrrScheduler
+from repro.obs import registry as metrics
+from repro.obs.registry import CounterBlock
 from repro.sim import trace
 from repro.sim.engine import Simulator
 
@@ -63,19 +65,17 @@ class SwitchConfig:
         return max(1, self.buffer_bytes // max(1, self.num_ports))
 
 
-@dataclass
-class SwitchStats:
-    """Per-switch counters used by the experiment harnesses."""
+class SwitchStats(CounterBlock):
+    """Per-switch counters used by the experiment harnesses.
 
-    forwarded: int = 0
-    trimmed: int = 0
-    dropped_congestion: int = 0
-    dropped_forced: int = 0
-    dropped_buffer: int = 0
-    ho_enqueued: int = 0
-    ho_dropped: int = 0
-    acks_dropped: int = 0
-    ecn_marked: int = 0
+    Registered as ``switch.<name>.*`` when a metrics registry is
+    installed; the attribute API (``stats.trimmed += 1``) is unchanged.
+    """
+
+    FIELDS = ("forwarded", "trimmed", "dropped_congestion", "dropped_forced",
+              "dropped_buffer", "ho_enqueued", "ho_dropped", "acks_dropped",
+              "ecn_marked")
+    __slots__ = FIELDS
 
 
 class Switch:
@@ -89,6 +89,7 @@ class Switch:
         self.lb = load_balancer
         self.name = name or f"switch{switch_id}"
         self.stats = SwitchStats()
+        metrics.register_block(f"switch.{self.name}", self.stats)
         self._loss_rng = random.Random(config.loss_seed ^ (switch_id * 7919))
         data_cap = config.effective_data_queue_bytes()
         self.ports: list[EgressPort] = []
@@ -103,6 +104,15 @@ class Switch:
                               on_dequeue=self._on_dequeue,
                               name=f"{self.name}.p{i}")
             self.ports.append(port)
+            # Per-port occupancy/utilization gauges for the sampler:
+            # queue-depth series around trim events is the headline
+            # telemetry deliverable (Fig 8 analysis).
+            metrics.gauge(f"switch.{self.name}.p{i}.data_bytes",
+                          lambda q=data_q: float(q.bytes))
+            metrics.gauge(f"switch.{self.name}.p{i}.ctrl_bytes",
+                          lambda q=ctrl_q: float(q.bytes))
+            metrics.gauge(f"switch.{self.name}.p{i}.busy_ns",
+                          lambda p=port: float(p.busy_ns))
             if config.red is not None:
                 self.ecn_markers.append(
                     EcnMarker(config.red,
@@ -116,7 +126,7 @@ class Switch:
         self.pfc: Optional[PfcController] = None
         if config.pfc is not None:
             self.pfc = PfcController(sim, config.num_ports, config.pfc,
-                                     self._send_pfc_frame)
+                                     self._send_pfc_frame, name=self.name)
         self.buffered_bytes = 0
 
     def __repr__(self) -> str:
@@ -200,6 +210,9 @@ class Switch:
         if marker is not None and packet.kind is PacketKind.DATA:
             if marker.maybe_mark(packet, data_q.bytes):
                 self.stats.ecn_marked += 1
+                trace.emit(self.sim.now, "ecn", self.name,
+                           flow_id=packet.flow_id, psn=packet.psn,
+                           queue_bytes=data_q.bytes)
 
         packet.ingress_hint = in_port
         if data_q.would_overflow(packet):
@@ -230,6 +243,11 @@ class Switch:
     # ------------------------------------------------------------ dequeue
     def _on_dequeue(self, packet: Packet) -> None:
         self.buffered_bytes -= packet.size_bytes
+        if packet.kind is PacketKind.HO:
+            # WRR served the control queue ahead of data (§4.2): this
+            # drain latency is what keeps the control plane lossless.
+            trace.emit(self.sim.now, "ctrlq", self.name,
+                       flow_id=packet.flow_id, psn=packet.psn)
         if self.pfc is not None:
             self.pfc.release(packet.ingress_hint, packet)
         packet.ingress_hint = -1

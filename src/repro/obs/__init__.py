@@ -1,0 +1,59 @@
+"""Unified telemetry: metrics registry, time-series sampling, export.
+
+Public surface::
+
+    from repro.obs import MetricsRegistry, MetricsSampler, metrics
+
+    registry = MetricsRegistry()
+    metrics.install(registry)          # components register at build time
+    net = build_network(...)           # switches/links/RNICs self-register
+    sampler = MetricsSampler(net.sim, registry, interval_ns=20_000)
+    sampler.start()
+    net.run_until_flows_done()
+    payload = registry.to_payload()    # deterministic JSON-safe snapshot
+    metrics.install(None)
+
+Disabled (no registry installed) the whole subsystem costs one ``None``
+check per component *construction* and nothing per event — the same
+discipline as :mod:`repro.sim.trace`.
+"""
+
+from repro.obs import registry as metrics
+from repro.obs.export import (SCHEMA_VERSION, metrics_records, trace_records,
+                              tracer_payload, write_metrics_jsonl,
+                              write_trace_jsonl)
+from repro.obs.registry import (Counter, CounterBlock, Gauge, Histogram,
+                                MetricsRegistry)
+from repro.obs.schema import (KNOWN_METRIC_PATTERNS, known_metric,
+                              validate_file, validate_lines)
+
+
+def __getattr__(name: str):
+    # MetricsSampler is loaded lazily: it pulls in repro.analysis, which
+    # itself imports repro.rnic.base — and the instrumented components
+    # (net/, rnic/) import this package at *their* import time, so an
+    # eager import here would be circular.
+    if name == "MetricsSampler":
+        from repro.obs.sampler import MetricsSampler
+        return MetricsSampler
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Counter",
+    "CounterBlock",
+    "Gauge",
+    "Histogram",
+    "KNOWN_METRIC_PATTERNS",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "SCHEMA_VERSION",
+    "known_metric",
+    "metrics",
+    "metrics_records",
+    "trace_records",
+    "tracer_payload",
+    "validate_file",
+    "validate_lines",
+    "write_metrics_jsonl",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,42 @@
+"""Sim-clock-driven periodic sampling of registered gauges.
+
+A :class:`MetricsSampler` is an :class:`repro.analysis.timeseries.Sampler`
+wired to a :class:`~repro.obs.registry.MetricsRegistry`: every gauge
+registered at construction time is snapshotted each ``interval_ns`` of
+*simulated* time into a :class:`repro.analysis.timeseries.Series`, and
+the resulting series dict is shared with the registry so
+``registry.to_payload()`` carries the time series alongside the final
+counter values.
+
+Typical cadence: one sample per ~10 packet serialization times keeps
+the series small (a few hundred points for a quick-preset run) while
+still resolving queue-depth excursions around trim/pause events; the
+CLI exposes it as ``--sample-interval-ns``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.timeseries import Sampler
+from repro.obs.registry import MetricsRegistry
+from repro.sim.engine import Simulator
+
+
+class MetricsSampler(Sampler):
+    """Samples every gauge of ``registry`` into shared time series.
+
+    Gauges registered *after* construction are not watched — build the
+    network (which registers its gauges) first, then the sampler.
+    """
+
+    def __init__(self, sim: Simulator, registry: MetricsRegistry,
+                 interval_ns: int) -> None:
+        super().__init__(sim, interval_ns)
+        self.registry = registry
+        for name, gauge in registry.gauges():
+            self.watch(name, gauge.read)
+        # Share the dict: series appear in registry.to_payload().
+        registry.series = self.series
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"MetricsSampler(interval={self.interval_ns}ns, "
+                f"{len(self.series)} series)")

@@ -1,0 +1,143 @@
+"""Schema validation for exported metrics JSONL (CI smoke guard).
+
+Validates two things about a ``--metrics-out`` file:
+
+1. **record shape** — every line is a JSON object of a known ``type``
+   with that type's required keys (see :mod:`repro.obs.export` for the
+   documented shapes);
+2. **metric names** — every name matches the catalog below, which
+   enumerates the instruments the instrumented components register.
+   An unknown name fails validation, so silently renamed or drive-by
+   emit sites are caught the moment CI runs.
+
+Run directly::
+
+    python -m repro.obs.schema metrics.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from typing import Iterable
+
+_SWITCH_FIELDS = ("forwarded|trimmed|dropped_congestion|dropped_forced|"
+                  "dropped_buffer|ho_enqueued|ho_dropped|acks_dropped|"
+                  "ecn_marked")
+_FLOW_FIELDS = ("data_pkts_sent|retx_pkts_sent|timeouts|acks_received|"
+                "trims_seen|dup_pkts_received")
+_RNIC_FIELDS = ("retx_pkts|timeouts|ho_received|ho_turned|stale_ho|"
+                "spurious_retx|ooo_drops|tlp_probes|inflight_bytes")
+
+#: Every metric name the instrumented tree can register.  Extend this
+#: catalog in the same change that adds an emit/registration site.
+KNOWN_METRIC_PATTERNS: tuple[str, ...] = (
+    r"engine\.events",
+    r"flow\.fct_us",
+    rf"flow\.\d+\.(?:{_FLOW_FIELDS})",
+    r"link\.[^.\s]+\.(?:delivered_packets|delivered_bytes|dropped_loss|"
+    r"dropped_link_down)",
+    r"nic\.[^.\s]+\.(?:tx_packets|tx_bytes)",
+    rf"rnic\.[^.\s]+\.(?:{_RNIC_FIELDS})",
+    rf"switch\.[^.\s]+\.(?:{_SWITCH_FIELDS})",
+    r"switch\.[^.\s]+\.p\d+\.(?:data_bytes|ctrl_bytes|busy_ns)",
+    r"pfc\.[^.\s]+\.(?:pause_frames|resume_frames|paused_ports)",
+)
+
+_KNOWN = re.compile("|".join(f"(?:{p})" for p in KNOWN_METRIC_PATTERNS))
+#: Duplicate registrations get a stable ``#N`` suffix (see
+#: ``MetricsRegistry._unique``); strip it before catalog matching.
+_DEDUP_SUFFIX = re.compile(r"#\d+$")
+
+_REQUIRED_KEYS = {
+    "meta": ("schema", "experiment", "points"),
+    "counter": ("experiment", "point", "name", "value"),
+    "gauge": ("experiment", "point", "name", "value"),
+    "histogram": ("experiment", "point", "name", "bounds", "counts",
+                  "total", "sum"),
+    "series": ("experiment", "point", "name", "times_ns", "values"),
+    "trace": ("experiment", "point", "time_ns", "category", "actor",
+              "detail"),
+}
+
+
+def known_metric(name: str) -> bool:
+    return _KNOWN.fullmatch(_DEDUP_SUFFIX.sub("", name)) is not None
+
+
+def validate_record(record: object) -> list[str]:
+    """Schema errors for one decoded JSONL record (empty = valid)."""
+    if not isinstance(record, dict):
+        return ["record is not a JSON object"]
+    rtype = record.get("type")
+    if rtype not in _REQUIRED_KEYS:
+        return [f"unknown record type {rtype!r}"]
+    errors = [f"{rtype} record missing key {key!r}"
+              for key in _REQUIRED_KEYS[rtype] if key not in record]
+    if errors:
+        return errors
+    if rtype in ("counter", "gauge", "histogram", "series"):
+        name = record["name"]
+        if not known_metric(name):
+            errors.append(f"unknown metric name {name!r}")
+    if rtype == "counter":
+        value = record["value"]
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(f"counter {record['name']!r} value {value!r} "
+                          "is not a non-negative integer")
+    elif rtype == "histogram":
+        if len(record["counts"]) != len(record["bounds"]) + 1:
+            errors.append(f"histogram {record['name']!r} needs "
+                          "len(bounds)+1 counts")
+    elif rtype == "series":
+        if len(record["times_ns"]) != len(record["values"]):
+            errors.append(f"series {record['name']!r} times/values "
+                          "length mismatch")
+    return errors
+
+
+def validate_lines(lines: Iterable[str]) -> list[str]:
+    """Validate JSONL content; returns ``"line N: problem"`` strings."""
+    errors: list[str] = []
+    count = 0
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        count += 1
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            errors.append(f"line {lineno}: not JSON ({exc})")
+            continue
+        errors.extend(f"line {lineno}: {e}" for e in validate_record(record))
+    if count == 0:
+        errors.append("file contains no records")
+    return errors
+
+
+def validate_file(path: str) -> list[str]:
+    with open(path, encoding="utf-8") as fh:
+        return validate_lines(fh)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.schema <metrics.jsonl>",
+              file=sys.stderr)
+        return 2
+    errors = validate_file(argv[0])
+    if errors:
+        for e in errors[:50]:
+            print(e, file=sys.stderr)
+        if len(errors) > 50:
+            print(f"... and {len(errors) - 50} more", file=sys.stderr)
+        print(f"{argv[0]}: INVALID ({len(errors)} problems)", file=sys.stderr)
+        return 1
+    print(f"{argv[0]}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

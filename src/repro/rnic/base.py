@@ -24,6 +24,9 @@ from typing import Callable, Optional
 
 from repro.cc.base import CongestionControl, StaticWindowCc
 from repro.net.packet import Packet, PacketKind
+from repro.obs import registry as metrics
+from repro.obs.registry import CounterBlock
+from repro.sim import trace
 from repro.sim.engine import CancelledToken, Entity, Simulator
 from repro.sim.units import serialization_ns
 
@@ -54,16 +57,31 @@ class TransportConfig:
     debug_oracle: bool = False           # ground-truth exactly-once checking
 
 
-@dataclass
-class FlowStats:
-    """Counters accumulated per flow; consumed by the analysis layer."""
+class FlowStats(CounterBlock):
+    """Counters accumulated per flow; consumed by the analysis layer.
 
-    data_pkts_sent: int = 0
-    retx_pkts_sent: int = 0
-    timeouts: int = 0
-    acks_received: int = 0
-    trims_seen: int = 0                  # HO packets that came back (DCP)
-    dup_pkts_received: int = 0           # receiver-side duplicates
+    Registered as ``flow.<flow_id>.*`` only when the installed registry
+    asked for per-flow metrics (``MetricsRegistry(per_flow=True)``) —
+    incast workloads create thousands of flows and most experiments only
+    need the aggregates.
+    """
+
+    FIELDS = ("data_pkts_sent", "retx_pkts_sent", "timeouts",
+              "acks_received", "trims_seen", "dup_pkts_received")
+    __slots__ = FIELDS
+
+
+class TransportStats(CounterBlock):
+    """Per-RNIC transport counters, registered as ``rnic.<name><host>.*``.
+
+    Every transport carries the full field set; fields a protocol never
+    touches (e.g. ``ho_turned`` on IRN) simply stay zero, which keeps
+    the exported schema uniform across the baseline matrix.
+    """
+
+    FIELDS = ("retx_pkts", "timeouts", "ho_received", "ho_turned",
+              "stale_ho", "spurious_retx", "ooo_drops", "tlp_probes")
+    __slots__ = FIELDS
 
 
 class Flow:
@@ -85,6 +103,9 @@ class Flow:
         self.tx_complete_ns: Optional[int] = None
         self.rx_bytes = 0
         self.stats = FlowStats()
+        reg = metrics.active()
+        if reg is not None and reg.per_flow:
+            reg.register_block(f"flow.{self.flow_id}", self.stats)
         self.on_complete: Optional[Callable[["Flow"], None]] = None
 
     def deliver(self, payload_bytes: int, now_ns: int) -> None:
@@ -236,8 +257,14 @@ class HostNic:
         self.ctrl: deque[Packet] = deque()
         self.busy = False
         self.paused = False
+        # Plain ints on purpose: _tx_done is the hottest per-packet path
+        # on direct topologies, so the registry observes them as gauges
+        # instead of taxing every transmit with a counter indirection.
         self.tx_packets = 0
         self.tx_bytes = 0
+        metrics.gauge(f"nic.{name}.tx_packets",
+                      lambda: float(self.tx_packets))
+        metrics.gauge(f"nic.{name}.tx_bytes", lambda: float(self.tx_bytes))
 
     def bind(self, source) -> None:
         self.source = source
@@ -300,8 +327,11 @@ class RnicTransport(Entity):
         self._rr: deque[QueuePair] = deque()
         self._rr_member: set[int] = set()
         self._kick_token: Optional[CancelledToken] = None
-        self.total_retransmits = 0
-        self.total_timeouts = 0
+        self.stats = TransportStats()
+        self._actor = f"{self.name}{host_id}"
+        metrics.register_block(f"rnic.{self._actor}", self.stats)
+        metrics.gauge(f"rnic.{self._actor}.inflight_bytes",
+                      lambda: float(self.inflight_bytes()))
         #: flow_id -> Flow for flows whose data this host receives.
         self.rx_flows: dict[int, Flow] = {}
 
@@ -474,13 +504,50 @@ class RnicTransport(Entity):
         return self.rx_flows.get(packet.flow_id)
 
     # ------------------------------------------------------------- stats
+    @property
+    def total_retransmits(self) -> int:
+        return self.stats.retx_pkts
+
+    @total_retransmits.setter
+    def total_retransmits(self, value: int) -> None:
+        self.stats.retx_pkts = value
+
+    @property
+    def total_timeouts(self) -> int:
+        return self.stats.timeouts
+
+    @total_timeouts.setter
+    def total_timeouts(self, value: int) -> None:
+        self.stats.timeouts = value
+
+    def inflight_bytes(self) -> int:
+        """Bytes sent but not yet cumulatively acknowledged.
+
+        Sequence-window transports (IRN, MP-RDMA, TCP stacks) keep
+        per-QP ``_snd`` states with ``snd_una``/``snd_nxt``; everything
+        else falls back to the QP-level outstanding-byte accounting.
+        """
+        snd = getattr(self, "_snd", None)
+        if snd:
+            mtu = self.config.mtu_payload
+            total = 0
+            for st in snd.values():
+                una = getattr(st, "snd_una", None)
+                nxt = getattr(st, "snd_nxt", None)
+                if una is not None and nxt is not None:
+                    total += max(0, nxt - una) * mtu
+            return total
+        return sum(qp.outstanding_bytes for qp in self.qps.values())
+
     def count_retransmit(self, flow: Flow) -> None:
         flow.stats.retx_pkts_sent += 1
-        self.total_retransmits += 1
+        self.stats.retx_pkts += 1
+        trace.emit(self.now, "retx", self._actor, flow_id=flow.flow_id)
 
     def count_timeout(self, flow: Flow) -> None:
         flow.stats.timeouts += 1
-        self.total_timeouts += 1
+        self.stats.timeouts += 1
+        trace.emit(self.now, "timeout", self._actor, flow_id=flow.flow_id)
 
 
 class Host(Entity):

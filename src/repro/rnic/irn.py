@@ -71,7 +71,10 @@ class IrnTransport(RnicTransport):
         super().__init__(sim, host_id, config)
         self._snd: dict[int, _IrnSendState] = {}
         self._rcv: dict[int, _IrnRecvState] = {}
-        self.spurious_retransmits = 0
+
+    @property
+    def spurious_retransmits(self) -> int:
+        return self.stats.spurious_retx
 
     def _send_state(self, qp: QueuePair) -> _IrnSendState:
         st = self._snd.get(qp.qpn)
@@ -218,7 +221,7 @@ class IrnTransport(RnicTransport):
             if flow is not None:
                 flow.stats.dup_pkts_received += 1
                 if packet.is_retransmit:
-                    self.spurious_retransmits += 1
+                    self.stats.spurious_retx += 1
             self._send_ack(qp, PacketKind.ACK, ack_psn=st.epsn - 1)
             return
         if flow is not None:

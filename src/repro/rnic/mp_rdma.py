@@ -68,7 +68,10 @@ class MpRdmaTransport(RnicTransport):
         self.ooo_window = ooo_window
         self._snd: dict[int, _MpSendState] = {}
         self._rcv: dict[int, _MpRecvState] = {}
-        self.ooo_drops = 0
+
+    @property
+    def ooo_drops(self) -> int:
+        return self.stats.ooo_drops
 
     def _send_state(self, qp: QueuePair) -> _MpSendState:
         st = self._snd.get(qp.qpn)
@@ -184,7 +187,7 @@ class MpRdmaTransport(RnicTransport):
             return
         if packet.psn - st.epsn >= self.ooo_window:
             # Beyond the OOO bitmap: the RNIC cannot track it; drop + NAK.
-            self.ooo_drops += 1
+            self.stats.ooo_drops += 1
             if not st.nak_outstanding:
                 st.nak_outstanding = True
                 nak = make_ack(self.host_id, qp.peer_host_id, flow_id=-1,

@@ -199,6 +199,7 @@ class RackTlpTransport(RnicTransport):
             st.rtx_queue.append(probe)
             st.rtx_queued.add(probe)
             st.tlp_probes += 1
+            self.stats.tlp_probes += 1
             self._activate(qp)
         st.tlp_timer.restart(self._pto(st))
 

@@ -17,7 +17,8 @@ from typing import Any, Optional
 
 #: Bump whenever simulation semantics or payload encodings change in a
 #: way that makes previously cached results wrong.
-CACHE_VERSION = 1
+#: v2: point payloads gained the always-on "metrics" snapshot.
+CACHE_VERSION = 2
 
 
 def default_cache_dir() -> Path:

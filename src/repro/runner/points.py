@@ -6,6 +6,21 @@ generic :func:`simulate_flows` covers the common "open N flows, drain,
 report per-flow stats" shape used by the conformance suite, the runner
 tests and the quickstart sweep demo; figure-specific runners live next
 to their experiment modules.
+
+Telemetry: every point carries a ``metrics`` payload (counters are
+always on — the registry costs nothing extra once components hold their
+counter handles).  Tracing and gauge sampling are opt-in via the
+``telemetry`` param the :class:`~repro.runner.runner.ExperimentRunner`
+injects, and *participate in the cache key* — a traced run is a
+different computation than an untraced one::
+
+    {"telemetry": {"trace": {"categories": [...], "max_records": N},
+                   "sample_interval_ns": 20_000,
+                   "per_flow": false}}
+
+Because the payload rides through :func:`canonicalize` like everything
+else, metrics survive the result cache and merge deterministically
+across workers.
 """
 
 from __future__ import annotations
@@ -14,6 +29,14 @@ from typing import Any
 
 from repro.analysis.fct import goodput_gbps
 from repro.experiments.common import Network, NetworkSpec
+from repro.obs import registry as metrics
+from repro.obs.export import tracer_payload
+from repro.obs.registry import MetricsRegistry
+from repro.sim import trace
+
+#: Fixed FCT histogram buckets (microseconds): sub-RTT to multi-ms tail.
+FCT_US_BOUNDS = (10.0, 30.0, 100.0, 300.0, 1_000.0, 3_000.0, 10_000.0,
+                 30_000.0, 100_000.0)
 
 
 def simulate_flows(spec: NetworkSpec, params: dict) -> dict[str, Any]:
@@ -23,31 +46,74 @@ def simulate_flows(spec: NetworkSpec, params: dict) -> dict[str, Any]:
 
         {"flows": [[src, dst, size_bytes, start_ns], ...],
          "max_events": 20_000_000,      # optional drain budget
-         "settle_ns": 0}                # optional post-completion drain
+         "settle_ns": 0,                # optional post-completion drain
+         "telemetry": {...}}            # optional, see module docstring
 
-    The payload carries one record per flow, in posting order, plus the
-    total events processed — enough for byte-accounting assertions and
-    goodput/FCT analysis without re-running anything.
+    The payload carries one record per flow, in posting order, the total
+    events processed, and a ``metrics`` snapshot — enough for
+    byte-accounting assertions and goodput/FCT analysis without
+    re-running anything.
     """
-    net = Network(spec)
-    flows = [net.open_flow(int(src), int(dst), int(size), int(start))
-             for src, dst, size, start in params["flows"]]
-    net.run_until_flows_done(max_events=int(params.get("max_events", 20_000_000)),
-                             settle_ns=int(params.get("settle_ns", 0)))
-    records = []
-    for f in flows:
-        records.append({
-            "src": f.src,
-            "dst": f.dst,
-            "size_bytes": f.size_bytes,
-            "start_ns": f.start_ns,
-            "completed": f.completed,
-            "fct_ns": f.fct_ns() if f.completed else None,
-            "goodput_gbps": goodput_gbps(f) if f.completed else 0.0,
-            "rx_bytes": f.rx_bytes,
-            "retx_pkts": f.stats.retx_pkts_sent,
-            "timeouts": f.stats.timeouts,
-            "dup_pkts_received": f.stats.dup_pkts_received,
-        })
-    return {"flows": records, "events": net.sim.events_processed,
-            "end_ns": net.sim.now}
+    telemetry = params.get("telemetry") or {}
+    registry = MetricsRegistry(per_flow=bool(telemetry.get("per_flow")))
+    prev_registry = metrics.active()
+    prev_tracer = trace.active()
+    tracer = None
+    trace_cfg = telemetry.get("trace")
+    if trace_cfg is not None:
+        categories = trace_cfg.get("categories")
+        flow_ids = trace_cfg.get("flow_ids")
+        tracer = trace.Tracer(
+            categories=set(categories) if categories else None,
+            flow_ids=set(flow_ids) if flow_ids else None,
+            max_records=int(trace_cfg.get("max_records", 100_000)))
+    metrics.install(registry)
+    if tracer is not None:
+        trace.install(tracer)
+    try:
+        net = Network(spec)
+        registry.gauge("engine.events",
+                       lambda: float(net.sim.events_processed))
+        fct_hist = registry.histogram("flow.fct_us", FCT_US_BOUNDS)
+        sampler = None
+        interval_ns = int(telemetry.get("sample_interval_ns", 0))
+        if interval_ns > 0:
+            # Import here: the sampler pulls in repro.analysis, which is
+            # heavier than this hot module needs by default.
+            from repro.obs.sampler import MetricsSampler
+            sampler = MetricsSampler(net.sim, registry, interval_ns)
+            sampler.start()
+        flows = [net.open_flow(int(src), int(dst), int(size), int(start))
+                 for src, dst, size, start in params["flows"]]
+        net.run_until_flows_done(
+            max_events=int(params.get("max_events", 20_000_000)),
+            settle_ns=int(params.get("settle_ns", 0)))
+        if sampler is not None:
+            sampler.stop()
+        records = []
+        for f in flows:
+            if f.completed:
+                fct_hist.observe(f.fct_ns() / 1000.0)
+            records.append({
+                "src": f.src,
+                "dst": f.dst,
+                "size_bytes": f.size_bytes,
+                "start_ns": f.start_ns,
+                "completed": f.completed,
+                "fct_ns": f.fct_ns() if f.completed else None,
+                "goodput_gbps": goodput_gbps(f) if f.completed else 0.0,
+                "rx_bytes": f.rx_bytes,
+                "retx_pkts": f.stats.retx_pkts_sent,
+                "timeouts": f.stats.timeouts,
+                "dup_pkts_received": f.stats.dup_pkts_received,
+            })
+        payload: dict[str, Any] = {
+            "flows": records, "events": net.sim.events_processed,
+            "end_ns": net.sim.now, "metrics": registry.to_payload(),
+        }
+        if tracer is not None:
+            payload["trace"] = tracer_payload(tracer)
+        return payload
+    finally:
+        metrics.install(prev_registry)
+        trace.install(prev_tracer)

@@ -89,7 +89,8 @@ class ExperimentRunner:
     """
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
-                 mp_method: Optional[str] = None) -> None:
+                 mp_method: Optional[str] = None,
+                 telemetry: Optional[dict] = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
@@ -99,6 +100,17 @@ class ExperimentRunner:
             available = get_all_start_methods()
             mp_method = next(m for m in _MP_METHODS if m in available)
         self.mp_method = mp_method
+        #: Extra ``telemetry`` param injected into every point (tracing,
+        #: gauge sampling).  Injection happens *before* cache keys are
+        #: computed: a traced run is a different computation, so it must
+        #: not serve (or poison) untraced cache entries.
+        self.telemetry = telemetry
+        #: point_id -> metrics payload / tracer payload from the latest
+        #: run_points call, in sweep-point order (for JSONL export).
+        self.last_metrics: dict[str, Any] = {}
+        self.last_traces: dict[str, Any] = {}
+        #: Experiment key of the latest run_points call.
+        self.last_experiment: Optional[str] = None
         #: Simulations actually executed (cache misses) since construction.
         self.simulations_executed = 0
 
@@ -111,6 +123,10 @@ class ExperimentRunner:
         ``fn(spec, params) -> payload`` — a path rather than a function
         object so it pickles into pool workers under any start method.
         """
+        if self.telemetry is not None:
+            points = [SweepPoint(p.point_id, p.spec,
+                                 {**p.params, "telemetry": self.telemetry})
+                      for p in points]
         keys = [cache_key(experiment, p.point_id, p.spec, p.params)
                 for p in points]
         payloads: dict[int, Any] = {}
@@ -140,7 +156,23 @@ class ExperimentRunner:
                     payloads[index] = payload
                     self.cache.put(keys[index], payload)
 
-        return [payloads[i] for i in range(len(points))]
+        ordered = [payloads[i] for i in range(len(points))]
+        # Harvest telemetry for export.  Cached payloads carry their
+        # metrics too, so a fully cache-served run still exports.
+        # Consecutive run_points calls for the *same* experiment (an
+        # experiment may run several sweeps) accumulate; a new
+        # experiment resets the harvest.
+        if self.last_experiment != experiment:
+            self.last_metrics = {}
+            self.last_traces = {}
+        self.last_experiment = experiment
+        for point, payload in zip(points, ordered):
+            if isinstance(payload, dict):
+                if "metrics" in payload:
+                    self.last_metrics[point.point_id] = payload["metrics"]
+                if "trace" in payload:
+                    self.last_traces[point.point_id] = payload["trace"]
+        return ordered
 
     def run_sweep(self, experiment: str, points: Sequence[SweepPoint],
                   point_runner: str,

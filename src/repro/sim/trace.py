@@ -53,14 +53,30 @@ class Tracer:
         return [r for r in self.records
                 if r.detail.get("flow_id") == flow_id]
 
-    def format(self, limit: int = 50) -> str:
+    def format(self, limit: int = 50, category: Optional[str] = None,
+               tail: bool = False) -> str:
+        """Human-readable listing of up to ``limit`` records.
+
+        ``category`` restricts the listing the same way capture-time
+        filtering would; ``tail=True`` shows the newest records instead
+        of the oldest (the end of a run is where retransmission storms
+        live).  The footer reports both the records elided by ``limit``
+        and any dropped at capture time by ``max_records``.
+        """
+        records = (self.records if category is None
+                   else self.by_category(category))
+        shown = records[-limit:] if tail else records[:limit]
         lines = []
-        for r in self.records[:limit]:
+        for r in shown:
             detail = " ".join(f"{k}={v}" for k, v in r.detail.items())
             lines.append(f"{r.time_ns:>12} ns  {r.category:<6} {r.actor:<16} "
                          f"{detail}")
-        if len(self.records) > limit:
-            lines.append(f"... {len(self.records) - limit} more records")
+        if len(records) > limit:
+            where = "earlier" if tail else "more"
+            lines.append(f"... {len(records) - limit} {where} records")
+        if self.dropped_records > 0:
+            lines.append(f"... {self.dropped_records} records dropped at "
+                         f"capture (max_records={self.max_records})")
         return "\n".join(lines)
 
 

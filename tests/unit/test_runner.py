@@ -210,6 +210,79 @@ class TestDeterminism:
             res_s.to_payload())
 
 
+# ------------------------------------------------- telemetry determinism
+TELEMETRY = {"trace": {"categories": ["drop", "retx", "timeout"],
+                       "max_records": 50_000},
+             "sample_interval_ns": 20_000}
+
+
+class TestTelemetryDeterminism:
+    def test_metrics_payload_identical_serial_parallel_and_cached(
+            self, tmp_path):
+        """Same spec -> byte-identical metrics under serial, --jobs 2,
+        and cache replay (the ISSUE's telemetry round-trip contract)."""
+        points = _points(4)
+        serial = ExperimentRunner(jobs=1, telemetry=TELEMETRY,
+                                  cache=ResultCache(root=tmp_path / "s"))
+        parallel = ExperimentRunner(jobs=2, telemetry=TELEMETRY,
+                                    cache=ResultCache(root=tmp_path / "p"))
+        pay_s = serial.run_points("tel", points, POINT_RUNNER)
+        pay_p = parallel.run_points("tel", points, POINT_RUNNER)
+        assert canonical_json(pay_s) == canonical_json(pay_p)
+        assert canonical_json(serial.last_metrics) == canonical_json(
+            parallel.last_metrics)
+        assert canonical_json(serial.last_traces) == canonical_json(
+            parallel.last_traces)
+
+        replay = ExperimentRunner(jobs=2, telemetry=TELEMETRY,
+                                  cache=ResultCache(root=tmp_path / "p"))
+        pay_c = replay.run_points("tel", points, POINT_RUNNER)
+        assert replay.simulations_executed == 0
+        assert canonical_json(pay_c) == canonical_json(pay_s)
+        assert canonical_json(replay.last_metrics) == canonical_json(
+            serial.last_metrics)
+        assert canonical_json(replay.last_traces) == canonical_json(
+            serial.last_traces)
+
+    def test_points_carry_metrics_and_requested_traces(self):
+        runner = ExperimentRunner(jobs=1, telemetry=TELEMETRY,
+                                  cache=ResultCache(enabled=False))
+        payloads = runner.run_points("tel", _points(2), POINT_RUNNER)
+        for p in payloads:
+            assert p["metrics"]["counters"]    # instrumented fleet counted
+            assert "trace" in p
+        # loss_rate=0.02 points must record drops somewhere
+        assert any(rec[1] == "drop"
+                   for t in runner.last_traces.values()
+                   for rec in t["records"])
+        assert runner.last_experiment == "tel"
+
+    def test_telemetry_changes_cache_key(self, tmp_path):
+        """A traced/sampled run is a different computation: it must not
+        serve from (or poison) the untraced cache entries."""
+        points = _points(2)
+        plain = ExperimentRunner(jobs=1, cache=ResultCache(root=tmp_path))
+        plain.run_points("tel", points, POINT_RUNNER)
+        assert plain.simulations_executed == 2
+
+        traced = ExperimentRunner(jobs=1, telemetry=TELEMETRY,
+                                  cache=ResultCache(root=tmp_path))
+        traced.run_points("tel", points, POINT_RUNNER)
+        assert traced.simulations_executed == 2   # cache miss by design
+
+        plain2 = ExperimentRunner(jobs=1, cache=ResultCache(root=tmp_path))
+        plain2.run_points("tel", points, POINT_RUNNER)
+        assert plain2.simulations_executed == 0   # untraced entries intact
+
+    def test_metrics_survive_result_round_trip(self, tmp_path):
+        from repro.experiments.registry import run_experiment
+        runner = ExperimentRunner(jobs=1, cache=ResultCache(root=tmp_path))
+        result = run_experiment("fig8", preset="quick", runner=runner)
+        assert result.metrics                    # attached by run_experiment
+        clone = ExperimentResult.from_payload(result.to_payload())
+        assert canonical_json(clone.metrics) == canonical_json(result.metrics)
+
+
 # ------------------------------------------------------ registry wiring
 class TestRegistryIntegration:
     def test_sweep_aware_experiments_declare_points(self):

@@ -67,6 +67,35 @@ class TestTracer:
         trace.emit(100, "trim", "leaf0", psn=1)
         assert "trim" in tracer.format()
 
+    def test_format_category_filter(self):
+        tracer = Tracer()
+        trace.install(tracer)
+        trace.emit(0, "trim", "leaf0", psn=1)
+        trace.emit(1, "drop", "leaf0", psn=2)
+        out = tracer.format(category="drop")
+        assert "drop" in out and "trim" not in out
+
+    def test_format_tail_shows_newest_records(self):
+        tracer = Tracer()
+        trace.install(tracer)
+        for i in range(10):
+            trace.emit(i, "tx", "x", psn=i)
+        head = tracer.format(limit=3)
+        tail = tracer.format(limit=3, tail=True)
+        assert "psn=0" in head and "psn=9" not in head
+        assert "psn=9" in tail and "psn=0" not in tail
+        assert "7 more records" in head
+        assert "7 earlier records" in tail
+
+    def test_format_reports_capture_time_drops(self):
+        tracer = Tracer(max_records=2)
+        trace.install(tracer)
+        for i in range(5):
+            trace.emit(i, "tx", "x")
+        out = tracer.format()
+        assert "3 records dropped at capture" in out
+        assert "max_records=2" in out
+
 
 class TestSeries:
     def test_stats(self):
@@ -111,6 +140,21 @@ class TestSampler:
     def test_interval_validation(self):
         with pytest.raises(ValueError):
             Sampler(Simulator(), interval_ns=0)
+
+    def test_unbounded_sampler_goes_dormant_when_sim_drains(self):
+        # start() without until_ns must not keep the heap alive forever:
+        # a run-to-empty simulation has to terminate shortly after the
+        # last real event instead of sampling until max_events.
+        sim = Simulator()
+        state = {"v": 0}
+        sampler = Sampler(sim, interval_ns=100)
+        series = sampler.watch("v", lambda: state["v"])
+        sampler.start()
+        sim.schedule(450, lambda: state.__setitem__("v", 7))
+        sim.run(max_events=1_000_000)
+        assert sim.peek_time() is None  # heap fully drained
+        assert series.times_ns[-1] <= 550  # one tick past the last event
+        assert series.values[-1] == 7
 
 
 class TestFailureInjector:
