@@ -285,7 +285,7 @@ class DcpTransport(RnicTransport):
             return
         # Fallback: resend every packet of the unaMSN message with a new
         # retry number; the receiver recounts from zero (§4.5).
-        self.count_timeout(msg.flow)
+        self.count_coarse_timeout(msg.flow)
         qp.cc.on_timeout(self.now)
         trace.emit(self.now, "timer", f"dcp{self.host_id}",
                    flow_id=msg.flow.flow_id, msn=msg.msn,

@@ -83,7 +83,17 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="NS",
                         help="sample registered gauges every NS of simulated "
                              "time into exported series (default: off)")
+    parser.add_argument("--chaos", default=None, metavar="SCENARIO",
+                        help="restrict the robustness experiment to one "
+                             "named failure scenario ('list' to enumerate)")
     args = parser.parse_args(argv)
+    if args.chaos == "list":
+        from repro.chaos.scenarios import SCENARIOS
+        print(f"{'scenario':20s} events")
+        for name, scenario in SCENARIOS.items():
+            kinds = ", ".join(e["kind"] for e in scenario["events"]) or "-"
+            print(f"{name:20s} {kinds}")
+        return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.sample_interval_ns < 0:
@@ -128,8 +138,11 @@ def main(argv: list[str] | None = None) -> int:
                         max_records=args.trace_max_records)
                     trace.install(global_tracer)
             try:
+                # ``chaos`` only reaches experiments whose run() accepts
+                # it (the robustness campaign); signature filtering in
+                # run_experiment drops it everywhere else.
                 result = run_experiment(key, preset=args.preset,
-                                        runner=runner)
+                                        runner=runner, chaos=args.chaos)
             finally:
                 metrics.install(prev_reg)
                 trace.install(prev_tracer)

@@ -85,6 +85,8 @@ REGISTRY: dict[str, ExperimentEntry] = {
                         "Fig 16", "Incast w/ and w/o CC", True),
         ExperimentEntry("fig17", "repro.experiments.fig17_loss_schemes",
                         "Fig 17", "Recovery schemes vs loss rate", True),
+        ExperimentEntry("robustness", "repro.experiments.robustness",
+                        "§4.5", "Failure recovery: chaos scenario sweep", True),
         ExperimentEntry("longhaul", "repro.experiments.longhaul",
                         "§6.1", "10 km long-haul goodput", True),
         ExperimentEntry("deepdive", "repro.experiments.deepdive_control_plane",

@@ -279,3 +279,15 @@ def gauge(name: str, probe: Callable[[], float]) -> None:
     """Register a gauge on the active registry (no-op when disabled)."""
     if _active is not None:
         _active.gauge(name, probe)
+
+
+def counter(name: str) -> Counter:
+    """Get-or-create ``name`` on the active registry.
+
+    With no registry installed the caller gets a detached throwaway
+    :class:`Counter`, so rare-event emit sites (failure injection) can
+    increment unconditionally without their own None checks.
+    """
+    if _active is not None:
+        return _active.counter(name)
+    return Counter(name)

@@ -27,8 +27,8 @@ _SWITCH_FIELDS = ("forwarded|trimmed|dropped_congestion|dropped_forced|"
                   "ecn_marked")
 _FLOW_FIELDS = ("data_pkts_sent|retx_pkts_sent|timeouts|acks_received|"
                 "trims_seen|dup_pkts_received")
-_RNIC_FIELDS = ("retx_pkts|timeouts|ho_received|ho_turned|stale_ho|"
-                "spurious_retx|ooo_drops|tlp_probes|inflight_bytes")
+_RNIC_FIELDS = ("retx_pkts|timeouts|coarse_timeouts|ho_received|ho_turned|"
+                "stale_ho|spurious_retx|ooo_drops|tlp_probes|inflight_bytes")
 
 #: Every metric name the instrumented tree can register.  Extend this
 #: catalog in the same change that adds an emit/registration site.
@@ -43,6 +43,9 @@ KNOWN_METRIC_PATTERNS: tuple[str, ...] = (
     rf"switch\.[^.\s]+\.(?:{_SWITCH_FIELDS})",
     r"switch\.[^.\s]+\.p\d+\.(?:data_bytes|ctrl_bytes|busy_ns)",
     r"pfc\.[^.\s]+\.(?:pause_frames|resume_frames|paused_ports)",
+    r"chaos\.(?:injected|recovered)",
+    r"chaos\.link\.[^.\s]+\.down_ns",
+    r"chaos\.flow\.\d+\.rx_bytes",
 )
 
 _KNOWN = re.compile("|".join(f"(?:{p})" for p in KNOWN_METRIC_PATTERNS))

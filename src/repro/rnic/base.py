@@ -79,8 +79,9 @@ class TransportStats(CounterBlock):
     the exported schema uniform across the baseline matrix.
     """
 
-    FIELDS = ("retx_pkts", "timeouts", "ho_received", "ho_turned",
-              "stale_ho", "spurious_retx", "ooo_drops", "tlp_probes")
+    FIELDS = ("retx_pkts", "timeouts", "coarse_timeouts", "ho_received",
+              "ho_turned", "stale_ho", "spurious_retx", "ooo_drops",
+              "tlp_probes")
     __slots__ = FIELDS
 
 
@@ -548,6 +549,16 @@ class RnicTransport(Entity):
         flow.stats.timeouts += 1
         self.stats.timeouts += 1
         trace.emit(self.now, "timeout", self._actor, flow_id=flow.flow_id)
+
+    def count_coarse_timeout(self, flow: Flow) -> None:
+        """A coarse-grained fallback timer fired (§4.5).
+
+        Counted separately from regular RTOs: the chaos campaign uses
+        the split to tell loss-notification recovery apart from the
+        crash-survival path.
+        """
+        self.stats.coarse_timeouts += 1
+        self.count_timeout(flow)
 
 
 class Host(Entity):

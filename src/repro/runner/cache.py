@@ -18,7 +18,9 @@ from typing import Any, Optional
 #: Bump whenever simulation semantics or payload encodings change in a
 #: way that makes previously cached results wrong.
 #: v2: point payloads gained the always-on "metrics" snapshot.
-CACHE_VERSION = 2
+#: v3: transport stats gained ``coarse_timeouts``; chaos-aware points
+#: open flows before sampler start and attach a ``chaos`` block.
+CACHE_VERSION = 3
 
 
 def default_cache_dir() -> Path:

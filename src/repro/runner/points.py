@@ -47,12 +47,23 @@ def simulate_flows(spec: NetworkSpec, params: dict) -> dict[str, Any]:
         {"flows": [[src, dst, size_bytes, start_ns], ...],
          "max_events": 20_000_000,      # optional drain budget
          "settle_ns": 0,                # optional post-completion drain
+         "chaos": {...},                # optional failure scenario
          "telemetry": {...}}            # optional, see module docstring
 
     The payload carries one record per flow, in posting order, the total
     events processed, and a ``metrics`` snapshot — enough for
     byte-accounting assertions and goodput/FCT analysis without
     re-running anything.
+
+    ``chaos`` is a declarative failure scenario
+    (:mod:`repro.chaos.scenarios`), applied to the built network before
+    the run.  It lives in ``params``, so it participates in the cache
+    key like every other input.  Chaos runs always sample each flow's
+    delivered bytes (gauge ``chaos.flow.<i>.rx_bytes``) at the
+    scenario's ``sample_interval_ns`` and attach a ``chaos`` block —
+    recovery times, retransmission-storm size, duplicate deliveries,
+    per-link downtime — to the payload
+    (:func:`repro.chaos.recovery.chaos_summary`).
     """
     telemetry = params.get("telemetry") or {}
     registry = MetricsRegistry(per_flow=bool(telemetry.get("per_flow")))
@@ -75,16 +86,32 @@ def simulate_flows(spec: NetworkSpec, params: dict) -> dict[str, Any]:
         registry.gauge("engine.events",
                        lambda: float(net.sim.events_processed))
         fct_hist = registry.histogram("flow.fct_us", FCT_US_BOUNDS)
+        chaos_cfg = params.get("chaos")
+        injector = None
+        if chaos_cfg:
+            # Imported lazily: repro.chaos pulls in the failure layer,
+            # which most points never need.
+            from repro.chaos.scenarios import apply_scenario
+            injector = apply_scenario(net, chaos_cfg)
+        flows = [net.open_flow(int(src), int(dst), int(size), int(start))
+                 for src, dst, size, start in params["flows"]]
+        if chaos_cfg:
+            # Receiver-side delivery progress per flow — the raw series
+            # the recovery-time metric is computed from.  Registered
+            # before the sampler so it watches them from t=0.
+            for i, flow in enumerate(flows):
+                registry.gauge(f"chaos.flow.{i}.rx_bytes",
+                               lambda f=flow: float(f.rx_bytes))
         sampler = None
         interval_ns = int(telemetry.get("sample_interval_ns", 0))
+        if interval_ns <= 0 and chaos_cfg:
+            interval_ns = int(chaos_cfg.get("sample_interval_ns", 10_000))
         if interval_ns > 0:
             # Import here: the sampler pulls in repro.analysis, which is
             # heavier than this hot module needs by default.
             from repro.obs.sampler import MetricsSampler
             sampler = MetricsSampler(net.sim, registry, interval_ns)
             sampler.start()
-        flows = [net.open_flow(int(src), int(dst), int(size), int(start))
-                 for src, dst, size, start in params["flows"]]
         net.run_until_flows_done(
             max_events=int(params.get("max_events", 20_000_000)),
             settle_ns=int(params.get("settle_ns", 0)))
@@ -111,6 +138,10 @@ def simulate_flows(spec: NetworkSpec, params: dict) -> dict[str, Any]:
             "flows": records, "events": net.sim.events_processed,
             "end_ns": net.sim.now, "metrics": registry.to_payload(),
         }
+        if injector is not None:
+            from repro.chaos.recovery import chaos_summary
+            payload["chaos"] = chaos_summary(net, injector, chaos_cfg,
+                                             flows, registry)
         if tracer is not None:
             payload["trace"] = tracer_payload(tracer)
         return payload

@@ -1,0 +1,129 @@
+"""Chaos campaign: scenario wiring, exactly-once delivery, determinism.
+
+Every transport must complete its flows *exactly once* across a
+mid-flow link flap and a switch blackout (the §4.5 failure classes),
+DCP's coarse-grained fallback timer must actually fire and be counted,
+and the robustness sweep must be bit-identical across serial, parallel
+and cache-replayed execution (scenarios ride the spec-hash cache key).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.scenarios import SCENARIOS, apply_scenario, get_scenario
+from repro.experiments import robustness
+from repro.experiments.presets import get_preset
+from repro.runner import ExperimentRunner, ResultCache
+from repro.runner.points import simulate_flows
+
+QUICK = get_preset("quick")
+FLOW_BYTES = robustness._flow_bytes(QUICK)
+
+
+def _run_point(transport: str, scenario_key: str) -> dict:
+    spec = robustness._spec(transport, QUICK)
+    params = {
+        "flows": [[0, 2, FLOW_BYTES, 0], [1, 3, FLOW_BYTES, 10_000]],
+        "max_events": 60_000_000,
+        "chaos": get_scenario(scenario_key),
+    }
+    return simulate_flows(spec, params)
+
+
+@pytest.mark.parametrize("transport", robustness.TRANSPORTS)
+@pytest.mark.parametrize("scenario", ["link_flap", "switch_blackout"])
+def test_exactly_once_delivery_across_failure(transport, scenario):
+    """Flows complete and the app sees every byte exactly once."""
+    payload = _run_point(transport, scenario)
+    for rec in payload["flows"]:
+        assert rec["completed"], (transport, scenario, rec)
+        # rx_bytes counts bytes *delivered to the application*:
+        # == size means no byte was lost and no duplicate slipped
+        # through (duplicates are discarded and counted separately).
+        assert rec["rx_bytes"] == rec["size_bytes"]
+    chaos = payload["chaos"]
+    assert chaos["scenario"] == scenario
+    assert chaos["events"], "scenario should have injected something"
+    assert chaos["recovered"], (transport, scenario, chaos["recovery"])
+    assert chaos["recovery_ns"] > 0
+    assert all(v >= 0 for v in chaos["downtime_ns"].values())
+
+
+@pytest.mark.parametrize("scenario", ["link_flap", "switch_blackout"])
+def test_dcp_coarse_timeout_fires_and_is_counted(scenario):
+    """The §4.5 fallback timer is DCP's only way past a dead path; it
+    must fire under both failure classes and be counted separately from
+    regular RTOs."""
+    payload = _run_point("dcp", scenario)
+    chaos = payload["chaos"]
+    assert chaos["coarse_timeouts"] >= 1
+    counters = payload["metrics"]["counters"]
+    coarse = sum(v for n, v in counters.items()
+                 if n.startswith("rnic.") and n.endswith(".coarse_timeouts"))
+    assert coarse == chaos["coarse_timeouts"]
+    assert chaos["timeouts"] >= chaos["coarse_timeouts"]
+
+
+def test_chaos_injection_counters_match_events():
+    payload = _run_point("dcp", "link_flap")
+    counters = payload["metrics"]["counters"]
+    events = payload["chaos"]["events"]
+    assert counters["chaos.injected"] == len(events)
+    recovering = [e for e in events if e["recover_at_ns"] is not None]
+    assert counters["chaos.recovered"] == len(recovering)
+
+
+def test_baseline_scenario_reports_zero_recovery():
+    payload = _run_point("dcp", "none")
+    chaos = payload["chaos"]
+    assert chaos["events"] == []
+    assert chaos["recovery_ns"] == 0
+    assert chaos["recovered"]
+    assert chaos["retx_storm_pkts"] == 0
+
+
+def test_scenario_library_applies_on_the_testbed():
+    """Every library scenario resolves its targets on the robustness
+    fabric (catches target-schema drift before a sweep does)."""
+    from repro.experiments.common import Network
+
+    for key in SCENARIOS:
+        net = Network(robustness._spec("dcp", QUICK))
+        injector = apply_scenario(net, get_scenario(key))
+        expected = len(get_scenario(key)["events"])
+        if key in ("link_flap", "link_flap_converge", "double_flap"):
+            # flap events expand to one FailureEvent per flap
+            assert len(injector.events) >= expected
+        else:
+            assert len(injector.events) == expected
+
+
+def test_robustness_serial_parallel_replay_identical(tmp_path):
+    """serial == --jobs 2 == cache replay, bit for bit; replay executes
+    nothing."""
+    serial = ExperimentRunner(jobs=1, cache=ResultCache(enabled=False))
+    r_serial = robustness.run("quick", runner=serial, chaos="link_flap")
+
+    cache = ResultCache(root=tmp_path / "cache")
+    par = ExperimentRunner(jobs=2, cache=cache)
+    r_par = robustness.run("quick", runner=par, chaos="link_flap")
+    assert par.simulations_executed == len(robustness.TRANSPORTS)
+
+    replay = ExperimentRunner(jobs=2, cache=ResultCache(root=tmp_path / "cache"))
+    r_replay = robustness.run("quick", runner=replay, chaos="link_flap")
+    assert replay.simulations_executed == 0
+
+    assert r_serial.rows == r_par.rows == r_replay.rows
+
+
+def test_chaos_params_change_the_cache_key(tmp_path):
+    """Two runs differing only in scenario must not share cache
+    entries."""
+    cache = ResultCache(root=tmp_path / "cache")
+    runner = ExperimentRunner(jobs=1, cache=cache)
+    r_flap = robustness.run("quick", runner=runner, chaos="link_flap")
+    executed = runner.simulations_executed
+    r_none = robustness.run("quick", runner=runner, chaos="none")
+    assert runner.simulations_executed == 2 * executed  # all misses
+    assert r_flap.rows != r_none.rows

@@ -46,6 +46,13 @@ def test_incast_control_plane(capsys):
     assert "True" in out  # all flows completed at every incast degree
 
 
+def test_failure_timeline(capsys):
+    out = _run_example("failure_timeline", capsys)
+    assert "fail injected" in out
+    assert "exactly-once delivery held: True" in out
+    assert "coarse" in out
+
+
 def test_cross_datacenter(capsys):
     out = _run_example("cross_datacenter", capsys)
     assert "inter-DC transfer" in out

@@ -1,6 +1,7 @@
 """Failure injection: link failures, control-plane violations, AR rerouting."""
 
 from repro.experiments.common import build_network
+from repro.net.failures import FailureInjector
 
 
 def test_ar_routes_around_degraded_path():
@@ -25,19 +26,12 @@ def test_uplink_failure_mid_flow_recovered_by_fallback():
                         cross_links=2, link_rate=10.0, lb="ecmp", seed=92,
                         transport_overrides={"coarse_timeout_ns": 300_000})
     flows = [net.open_flow(0, 2, 300_000, 0), net.open_flow(1, 3, 300_000, 0)]
-    sw1 = net.fabric.switches[0]
 
-    def kill_uplink():
-        # sever one cross link in both directions and remove it from
-        # the routing tables (the control plane converging)
-        sw1.ports[3].link.up = False
-        net.fabric.switches[1].ports[3].link.up = False
-        for sw in net.fabric.switches:
-            for dst, ports in sw.routing_table.items():
-                if len(ports) > 1 and 3 in ports:
-                    ports.remove(3)
-
-    net.sim.schedule(50_000, kill_uplink)
+    # Sever one cross link permanently, with the control plane
+    # converging on both switches (routing tables drop the dead port).
+    inj = FailureInjector(net.sim)
+    for sw in net.fabric.switches:
+        inj.fail_link(sw, 3, at_ns=50_000, converge_routing=True)
     net.run_until_flows_done(max_events=30_000_000)
     assert all(f.completed for f in flows)
     assert all(f.rx_bytes == 300_000 for f in flows)
@@ -51,19 +45,9 @@ def test_total_blackout_then_recovery():
                         cross_links=1, link_rate=10.0, lb="ecmp", seed=93,
                         transport_overrides={"coarse_timeout_ns": 200_000})
     flow = net.open_flow(0, 2, 200_000, 0)
-    sw1, sw2 = net.fabric.switches
-    cross_a, cross_b = sw1.ports[2].link, sw2.ports[2].link
-
-    def blackout():
-        cross_a.up = False
-        cross_b.up = False
-
-    def restore():
-        cross_a.up = True
-        cross_b.up = True
-
-    net.sim.schedule(30_000, blackout)
-    net.sim.schedule(400_000, restore)
+    sw1, _sw2 = net.fabric.switches
+    inj = FailureInjector(net.sim)
+    inj.fail_link(sw1, 2, at_ns=30_000, recover_at_ns=400_000)
     net.run_until_flows_done(max_events=30_000_000)
     assert flow.completed
     assert flow.rx_bytes == 200_000
@@ -75,10 +59,11 @@ def test_gbn_survives_blackout_via_rto():
                         cross_links=1, link_rate=10.0, lb="ecmp", seed=94,
                         loss_rate=1e-9)  # disable PFC, plain lossy fabric
     flow = net.open_flow(0, 2, 100_000, 0)
-    sw1, sw2 = net.fabric.switches
-    net.sim.schedule(20_000, lambda: setattr(sw1.ports[2].link, "up", False))
-    net.sim.schedule(3_000_000,
-                     lambda: setattr(sw1.ports[2].link, "up", True))
+    sw1, _sw2 = net.fabric.switches
+    inj = FailureInjector(net.sim)
+    inj.fail_link(sw1, 2, at_ns=20_000, recover_at_ns=3_000_000,
+                  bidirectional=False)
     net.run_until_flows_done(max_events=30_000_000)
     assert flow.completed
     assert flow.stats.timeouts >= 1
+    assert inj.link_downtime_ns(sw1.ports[2].link) == 2_980_000
