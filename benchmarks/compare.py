@@ -1,0 +1,87 @@
+"""Compare two ``bench_hotpath`` records; exit 1 on regression.
+
+::
+
+    python benchmarks/compare.py BENCH_hotpath.json current.json
+    python benchmarks/compare.py BENCH_hotpath.json current.json \
+        --max-regression 2.0     # loose cross-machine bound (CI)
+
+A *regression* is the current record being slower than the baseline by
+more than the allowed factor: wall time higher, or event/packet rates
+lower.  The default factor of 1.2 (±20 %) absorbs normal same-machine
+noise; CI runs on shared machines of unknown speed and uses 2.0.
+Improvements never fail, and are reported the same way.
+
+No third-party dependencies — plain stdlib, so it runs anywhere the
+repo does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: metric -> True when larger is better.
+METRICS = {
+    "fig8_quick_wall_s": False,
+    "events_per_sec": True,
+    "packets_per_sec": True,
+}
+
+
+def compare(baseline: dict, current: dict,
+            max_regression: float) -> list[str]:
+    """Return a list of human-readable failures (empty when clean)."""
+    failures = []
+    for name, higher_is_better in METRICS.items():
+        if name not in baseline or name not in current:
+            failures.append(f"{name}: missing from "
+                            f"{'baseline' if name not in baseline else 'current'}")
+            continue
+        base, cur = float(baseline[name]), float(current[name])
+        if base <= 0 or cur <= 0:
+            failures.append(f"{name}: non-positive value "
+                            f"(baseline={base}, current={cur})")
+            continue
+        # Normalise so ratio > 1 always means "current is slower".
+        ratio = base / cur if higher_is_better else cur / base
+        verdict = "REGRESSION" if ratio > max_regression else "ok"
+        arrow = "slower" if ratio > 1 else "faster"
+        print(f"{name:22s} base={base:<12g} cur={cur:<12g} "
+              f"{ratio:5.2f}x {arrow}  [{verdict}]")
+        if ratio > max_regression:
+            failures.append(f"{name}: {ratio:.2f}x slower than baseline "
+                            f"(allowed {max_regression:.2f}x)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline JSON (e.g. BENCH_hotpath.json)")
+    parser.add_argument("current", help="freshly measured JSON to check")
+    parser.add_argument("--max-regression", type=float, default=1.2,
+                        metavar="FACTOR",
+                        help="fail when current is more than FACTOR times "
+                             "slower than baseline (default: 1.2)")
+    args = parser.parse_args(argv)
+    if args.max_regression <= 1.0:
+        parser.error("--max-regression must be > 1.0")
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+
+    failures = compare(baseline, current, args.max_regression)
+    if failures:
+        print("\nperformance regression detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nno regression.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

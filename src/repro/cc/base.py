@@ -17,7 +17,18 @@ class CongestionControl:
     Subclasses combine a *window* limit (``available_window``) with
     optional *rate* pacing (``pacing_delay_ns``).  ``on_*`` hooks feed
     back network signals.
+
+    ``paces`` and ``wants_ack`` mirror whether a subclass overrides
+    ``pacing_delay_ns`` / ``on_ack``: the per-packet send and ACK paths
+    check the flag instead of calling a guaranteed no-op.
     """
+
+    paces = False
+    wants_ack = False
+    #: Static window size when the scheme is a plain ``window - outstanding``
+    #: cap (the hot send path then skips the ``available_window`` call);
+    #: None means the scheme computes its window dynamically.
+    window_bytes: object = None
 
     def available_window(self, outstanding_bytes: int) -> int:
         """Bytes the QP may still put in flight (the paper's ``awin``)."""

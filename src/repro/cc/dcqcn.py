@@ -42,8 +42,12 @@ class DcqcnParams:
 class DcqcnCc(CongestionControl):
     """Sender-side DCQCN state machine for one QP."""
 
+    paces = True
+    wants_ack = True
+
     def __init__(self, params: DcqcnParams) -> None:
         self.p = params
+        self.window_bytes = params.window_bytes
         self.rate = params.line_rate      # Rc
         self.target_rate = params.line_rate  # Rt
         self.alpha = 1.0

@@ -32,9 +32,10 @@ from typing import Optional
 
 from repro.core.retransq import RetransQ
 from repro.core.tracking import CounterTracker
-from repro.net.packet import Packet, PacketKind, make_ack, make_data_packet
+from repro.net.packet import (Packet, PacketKind, make_ack,
+                              make_data_packet, release)
 from repro.rnic.base import (Flow, Message, QueuePair, RestartableTimer,
-                             RnicTransport, TransportConfig)
+                             RnicTransport, TransportConfig, _GATED, _NO_WORK)
 from repro.sim import trace
 from repro.sim.engine import Simulator
 
@@ -100,7 +101,7 @@ class DcpTransport(RnicTransport):
 
     # ---------------------------------------------------------------- state
     def _send_state(self, qp: QueuePair) -> _DcpSendState:
-        st = self._snd.get(qp.qpn)
+        st = qp.tx_state
         if st is None:
             st = _DcpSendState()
             st.retransq = RetransQ(
@@ -109,14 +110,14 @@ class DcpTransport(RnicTransport):
                 naive=self.config.dcp_naive_retrans,
                 on_ready=lambda q=qp: self._activate(q))
             st.timer = RestartableTimer(self.sim, lambda q=qp: self._on_coarse_timeout(q))
-            self._snd[qp.qpn] = st
+            self._snd[qp.qpn] = qp.tx_state = st
         return st
 
     def _recv_state(self, qp: QueuePair) -> _DcpRecvState:
-        st = self._rcv.get(qp.qpn)
+        st = qp.rx_state
         if st is None:
             st = _DcpRecvState(tracked_messages=8)
-            self._rcv[qp.qpn] = st
+            self._rcv[qp.qpn] = qp.rx_state = st
         return st
 
 
@@ -138,19 +139,42 @@ class DcpTransport(RnicTransport):
 
     def post_message(self, qp: QueuePair, flow: Flow, size_bytes: int) -> Message:
         msg = super().post_message(qp, flow, size_bytes)
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         if not st.timer.armed:
             st.timer.restart(self._coarse_ns(qp, st))
         return msg
 
     # ---------------------------------------------------------------- sender
+    def _qp_poll(self, qp: QueuePair, now: int):
+        """One-call scheduler probe (see base class).
+
+        Only the work/gate checks are inlined; the staged send body
+        (timeout rewinds, RetransQ, new data) stays in
+        ``_qp_next_packet`` — it is too branchy to duplicate safely.
+        """
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
+        if not (st.snd_nxt < qp.next_psn or st.timeout_rtx
+                or len(st.retransq) > 0):
+            return _NO_WORK
+        if qp.next_send_ns > now:
+            return _GATED
+        return self._qp_next_packet(qp)
+
     def _qp_has_work(self, qp: QueuePair) -> bool:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         return (bool(st.timeout_rtx) or len(st.retransq) > 0
                 or st.snd_nxt < qp.next_psn)
 
     def _qp_next_packet(self, qp: QueuePair) -> Optional[Packet]:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
 
         # 1. Coarse-timeout retransmissions: recovery actions bypass awin.
         while st.timeout_rtx:
@@ -160,7 +184,14 @@ class DcpTransport(RnicTransport):
             return self._build_data(qp, st, psn, is_retx=True)
 
         # 2. HO-based retransmissions from the RetransQ, gated by awin.
-        awin = qp.cc.available_window(qp.outstanding_bytes)
+        cc = qp.cc
+        wb = cc.window_bytes
+        if wb is None:
+            awin = cc.available_window(qp.outstanding_bytes)
+        else:
+            awin = wb - qp.outstanding_bytes
+            if awin < 0:
+                awin = 0
         if st.retransq.host_len > 0:
             st.retransq.request_fetch(
                 max(1, awin // (self.config.mtu_payload or 1)))
@@ -196,16 +227,17 @@ class DcpTransport(RnicTransport):
     def _build_data(self, qp: QueuePair, st: _DcpSendState, psn: int,
                     is_retx: bool) -> Packet:
         msg = qp.psn_to_message(psn)
-        payload = msg.payload_of(psn - msg.base_psn, self.config.mtu_payload)
+        mtu = self.config.mtu_payload
+        off = psn - msg.base_psn
+        if off < msg.num_pkts - 1:
+            payload = mtu
+        else:
+            payload = msg.size_bytes - (msg.num_pkts - 1) * mtu
         packet = make_data_packet(
-            self.host_id, qp.peer_host_id, flow_id=msg.flow.flow_id,
-            qpn=qp.peer_qpn, src_qpn=qp.qpn, psn=psn, msn=msg.msn,
-            payload=payload, mtu_payload=self.config.mtu_payload,
-            msg_len_pkts=msg.num_pkts, msg_len_bytes=msg.size_bytes,
-            msg_offset_pkts=psn - msg.base_psn, dcp=True, ssn=msg.ssn,
-            sretry_no=st.sretry.get(msg.msn, 0),
-            entropy=qp.entropy, is_retransmit=is_retx,
-        )
+            self.host_id, qp.peer_host_id, msg.flow.flow_id, qp.peer_qpn,
+            qp.qpn, psn, msg.msn, payload, mtu, msg.num_pkts,
+            msg.size_bytes, off, True, msg.ssn, st.sretry.get(msg.msn, 0),
+            qp.entropy, is_retx, 0, self.pool)
         qp.outstanding_bytes += payload
         st.msg_out_bytes[msg.msn] = st.msg_out_bytes.get(msg.msn, 0) + payload
         if is_retx:
@@ -222,29 +254,35 @@ class DcpTransport(RnicTransport):
             # via the control-priority path (§4.1 step 2).
             packet.turn_around()
             self.stats.ho_turned += 1
-            trace.emit(self.now, "ho", self._actor, dir="turn",
+            trace.emit(self.sim.now, "ho", self._actor, dir="turn",
                        flow_id=packet.flow_id, psn=packet.psn)
             self.nic.send_control(packet)
             return
         # We are the sender: a precise loss notification arrived.
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         self.stats.ho_received += 1
-        trace.emit(self.now, "ho", self._actor, dir="recv",
+        trace.emit(self.sim.now, "ho", self._actor, dir="recv",
                    flow_id=packet.flow_id, psn=packet.psn)
         msg = qp.psn_to_message(packet.psn)
         msg.flow.stats.trims_seen += 1
         if msg.msn < st.acked_msn:
             self.stats.stale_ho += 1
+            release(self.sim, packet)
             return
         payload = msg.payload_of(packet.psn - msg.base_psn, self.config.mtu_payload)
         qp.outstanding_bytes = max(0, qp.outstanding_bytes - payload)
         out = st.msg_out_bytes.get(msg.msn, 0)
         st.msg_out_bytes[msg.msn] = max(0, out - payload)
         st.retransq.write(msg.msn, packet.psn)
+        release(self.sim, packet)
         self._activate(qp)
 
     def _on_ack(self, qp: QueuePair, packet: Packet) -> None:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         emsn = packet.emsn
         if emsn <= st.acked_msn:
             return
@@ -261,10 +299,12 @@ class DcpTransport(RnicTransport):
             st.sretry.pop(msn, None)
             if msg.flow.tx_complete_ns is None and all(
                     m.acked for m in qp.messages.values() if m.flow is msg.flow):
-                msg.flow.tx_complete_ns = self.now
+                msg.flow.tx_complete_ns = self.sim.now
         st.acked_msn = emsn
         st.backoff = 0
-        qp.cc.on_ack(acked_bytes, self.now)
+        cc = qp.cc
+        if cc.wants_ack:
+            cc.on_ack(acked_bytes, self.sim.now)
         # §4.5: eMSN > unaMSN -> reset the coarse timer.
         if emsn > st.una_msn:
             st.una_msn = emsn
@@ -275,7 +315,9 @@ class DcpTransport(RnicTransport):
         self._activate(qp)
 
     def _on_coarse_timeout(self, qp: QueuePair) -> None:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         if st.una_msn >= qp.next_msn:
             return
         msg = qp.messages.get(st.una_msn)
@@ -286,8 +328,8 @@ class DcpTransport(RnicTransport):
         # Fallback: resend every packet of the unaMSN message with a new
         # retry number; the receiver recounts from zero (§4.5).
         self.count_coarse_timeout(msg.flow)
-        qp.cc.on_timeout(self.now)
-        trace.emit(self.now, "timer", f"dcp{self.host_id}",
+        qp.cc.on_timeout(self.sim.now)
+        trace.emit(self.sim.now, "timer", f"dcp{self.host_id}",
                    flow_id=msg.flow.flow_id, msn=msg.msn,
                    sretry=st.sretry.get(msg.msn, 0) + 1)
         st.backoff += 1
@@ -299,7 +341,9 @@ class DcpTransport(RnicTransport):
 
     # -------------------------------------------------------------- receiver
     def _on_data(self, qp: QueuePair, packet: Packet) -> None:
-        st = self._recv_state(qp)
+        st = qp.rx_state
+        if st is None:
+            st = self._recv_state(qp)
         self.maybe_send_cnp(qp, packet)
         tracker = st.tracker
         flow = self.flow_of(packet)
@@ -316,7 +360,7 @@ class DcpTransport(RnicTransport):
                                    packet.sretry_no)
         if completed:
             if flow is not None:
-                flow.deliver(packet.msg_len_bytes, self.now)
+                flow.deliver(packet.msg_len_bytes, self.sim.now)
             new_emsn, _cqes = tracker.advance_emsn()
             if new_emsn > before_emsn:
                 self._send_emsn_ack(qp, new_emsn)
@@ -324,7 +368,7 @@ class DcpTransport(RnicTransport):
     def _send_emsn_ack(self, qp: QueuePair, emsn: int) -> None:
         ack = make_ack(self.host_id, qp.peer_host_id, flow_id=-1,
                        qpn=qp.peer_qpn, src_qpn=qp.qpn, kind=PacketKind.ACK,
-                       emsn=emsn, dcp=True, entropy=qp.entropy)
+                       emsn=emsn, dcp=True, entropy=qp.entropy, pool=self.pool)
         self.nic.send_control(ack)
 
     # ------------------------------------------------- unsupported handlers

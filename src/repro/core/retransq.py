@@ -88,7 +88,7 @@ class RetransQ:
             self.pcie_transactions += 1
         self._fetch_in_flight = True
         self.fetches += 1
-        self.sim.schedule(latency, lambda n=count: self._fetch_done(n))
+        self.sim.call_after(latency, self._fetch_done, count)
 
     def _fetch_done(self, count: int) -> None:
         self._fetch_in_flight = False

@@ -86,6 +86,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--chaos", default=None, metavar="SCENARIO",
                         help="restrict the robustness experiment to one "
                              "named failure scenario ('list' to enumerate)")
+    parser.add_argument("--profile", nargs="?", const="-", default=None,
+                        metavar="PATH",
+                        help="run under cProfile; print cumulative stats, or "
+                             "dump raw pstats to PATH if given (requires "
+                             "--jobs 1: workers cannot be profiled)")
     args = parser.parse_args(argv)
     if args.chaos == "list":
         from repro.chaos.scenarios import SCENARIOS
@@ -98,6 +103,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--jobs must be >= 1")
     if args.sample_interval_ns < 0:
         parser.error("--sample-interval-ns must be >= 0")
+    if args.profile is not None and args.jobs != 1:
+        parser.error("--profile requires --jobs 1 (worker processes "
+                     "run the simulation; the parent's profile would "
+                     "show only dispatch overhead)")
 
     if args.clear_cache:
         cache = ResultCache(root=args.cache_dir)
@@ -120,6 +129,11 @@ def main(argv: list[str] | None = None) -> int:
     metrics_fh = open(args.metrics_out, "w") if args.metrics_out else None
     trace_fh = open(args.trace_out, "w") if args.trace_out else None
     metrics_lines = trace_lines = 0
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         keys = (list(REGISTRY) if args.experiment == "all"
                 else [args.experiment])
@@ -161,10 +175,20 @@ def main(argv: list[str] | None = None) -> int:
                             else {"run": tracer_payload(global_tracer)})
                 trace_lines += write_trace_jsonl(trace_fh, key, by_point)
     finally:
+        if profiler is not None:
+            profiler.disable()
         if metrics_fh is not None:
             metrics_fh.close()
         if trace_fh is not None:
             trace_fh.close()
+    if profiler is not None:
+        import pstats
+        if args.profile == "-":
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(30)
+        else:
+            profiler.dump_stats(args.profile)
+            print(f"[profile: raw pstats -> {args.profile} "
+                  f"(inspect with python -m pstats)]")
     if metrics_fh is not None:
         print(f"[metrics: {metrics_lines} records -> {args.metrics_out}]")
     if trace_fh is not None:

@@ -12,6 +12,7 @@ import random
 import zlib
 from typing import TYPE_CHECKING, Protocol
 
+from repro.net.packet import PAYLOAD_KINDS, release
 from repro.obs.registry import CounterBlock
 from repro.obs import registry as metrics
 from repro.sim import trace
@@ -71,6 +72,9 @@ class Link:
         self.stats = LinkStats()
         metrics.register_block(f"link.{name}", self.stats)
         self.up = True
+        # Hot path: the destination never changes after wiring, so the
+        # arrival callback is resolved once instead of per packet.
+        self._rx = dst.receive
 
     # Attribute views kept for the pre-registry API (tests, experiments).
     @property
@@ -102,19 +106,19 @@ class Link:
             trace.emit(self.sim.now, "drop", self.name,
                        flow_id=packet.flow_id, psn=packet.psn,
                        reason="link_down")
+            release(self.sim, packet)
             return
         if self.loss_rate > 0.0:
-            from repro.net.packet import PAYLOAD_KINDS
             if (packet.kind in PAYLOAD_KINDS
                     and self._loss_rng.random() < self.loss_rate):
                 self.stats.dropped_loss += 1
                 trace.emit(self.sim.now, "drop", self.name,
                            flow_id=packet.flow_id, psn=packet.psn,
                            reason="loss")
+                release(self.sim, packet)
                 return
         stats = self.stats
         stats.delivered_packets += 1
         stats.delivered_bytes += packet.size_bytes
         packet.hops += 1
-        self.sim.schedule(self.prop_delay_ns,
-                          lambda p=packet: self.dst.receive(p, self.dst_port))
+        self.sim.call_after(self.prop_delay_ns, self._rx, packet, self.dst_port)

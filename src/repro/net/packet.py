@@ -15,14 +15,30 @@ DCP_ACK     01     dropped
 DCP_DATA    10     payload trimmed; becomes an HO packet
 DCP_HO      11     enqueued in the (prioritized) control queue
 ==========  =====  =================================================
+
+Packets on the hot path come from a per-:class:`~repro.sim.engine.Simulator`
+:class:`PacketPool`: a free list of recycled :class:`Packet` instances
+with explicit ``alloc``/``release`` at the RNIC delivery and drop
+sites.  ``Packet`` is a plain ``__slots__`` class (no dataclass
+machinery) and re-initialising a recycled instance rewrites every slot,
+so a released-then-reallocated packet can never leak prior fields.
+Pool behaviour is environment-switchable:
+
+* ``REPRO_PACKET_POOL=0`` disables recycling (every alloc constructs a
+  fresh object; results are bit-identical either way);
+* ``REPRO_PACKET_POOL_DEBUG=1`` poisons released packets and verifies
+  the poison on realloc, catching use-after-free and double-free.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Optional
+import os
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
 
 
 class DcpTag(enum.IntEnum):
@@ -75,10 +91,12 @@ ACK_PACKET_BYTES = ETH_HDR + IP_HDR + UDP_HDR + BTH_HDR + 4 + 3
 CNP_PACKET_BYTES = ETH_HDR + IP_HDR + UDP_HDR + BTH_HDR + 16
 PAUSE_FRAME_BYTES = 64
 
+#: Fallback uid source for packets built outside a simulation (unit
+#: tests, hand-rolled reprs).  Simulation packets get deterministic
+#: per-run uids from ``Simulator.packet_seq`` via the pool.
 _packet_ids = itertools.count()
 
 
-@dataclass(slots=True)
 class Packet:
     """A simulated packet.
 
@@ -88,37 +106,60 @@ class Packet:
     and DCP's extensions.
     """
 
-    src: int
-    dst: int
-    kind: PacketKind
-    size_bytes: int
-    payload_bytes: int = 0
-    flow_id: int = -1
-    qpn: int = -1                  # destination QP number
-    src_qpn: int = -1
-    psn: int = -1                  # packet sequence number (BTH)
-    msn: int = -1                  # message sequence number (DCP extension)
-    ssn: int = -1                  # send sequence number (two-sided ops)
-    msg_len_pkts: int = 0          # packets in this message (from RETH length)
-    msg_len_bytes: int = 0
-    msg_offset_pkts: int = 0       # this packet's index within its message
-    sretry_no: int = 0             # sender retry number (§4.5 fallback)
-    emsn: int = -1                 # cumulative expected MSN (ACK packets)
-    ack_psn: int = -1              # cumulative PSN (ACK/SACK)
-    sack_psn: int = -1             # PSN of the OOO packet that triggered a SACK
-    dcp_tag: DcpTag = DcpTag.NON_DCP
-    ecn_capable: bool = True
-    ecn_ce: bool = False           # congestion-experienced mark
-    entropy: int = 0               # ECMP hash input (UDP sport); per-path for MP-RDMA
-    priority: int = 0              # PFC priority class
-    pause_priority: int = 0        # priority a PAUSE/RESUME frame refers to
-    pause_duration_ns: int = 0
-    is_retransmit: bool = False
-    ho_returned: bool = False      # HO packet already turned around by receiver
-    timestamp_ns: int = -1         # sender send time (RACK-TLP)
-    hops: int = 0
-    ingress_hint: int = -1         # transient: ingress port at the current switch
-    uid: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = (
+        "src", "dst", "kind", "size_bytes", "payload_bytes", "flow_id",
+        "qpn", "src_qpn", "psn", "msn", "ssn", "msg_len_pkts",
+        "msg_len_bytes", "msg_offset_pkts", "sretry_no", "emsn", "ack_psn",
+        "sack_psn", "dcp_tag", "ecn_capable", "ecn_ce", "entropy",
+        "priority", "pause_priority", "pause_duration_ns", "is_retransmit",
+        "ho_returned", "timestamp_ns", "hops", "ingress_hint", "uid",
+    )
+
+    def __init__(self, src: int, dst: int, kind: PacketKind, size_bytes: int,
+                 payload_bytes: int = 0, flow_id: int = -1, qpn: int = -1,
+                 src_qpn: int = -1, psn: int = -1, msn: int = -1,
+                 ssn: int = -1, msg_len_pkts: int = 0, msg_len_bytes: int = 0,
+                 msg_offset_pkts: int = 0, sretry_no: int = 0, emsn: int = -1,
+                 ack_psn: int = -1, sack_psn: int = -1,
+                 dcp_tag: DcpTag = DcpTag.NON_DCP, ecn_capable: bool = True,
+                 ecn_ce: bool = False, entropy: int = 0, priority: int = 0,
+                 pause_priority: int = 0, pause_duration_ns: int = 0,
+                 is_retransmit: bool = False, ho_returned: bool = False,
+                 timestamp_ns: int = -1, hops: int = 0,
+                 ingress_hint: int = -1, uid: int = -1) -> None:
+        # Assigns every slot unconditionally: the packet pool relies on
+        # re-running __init__ to scrub a recycled instance completely.
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.size_bytes = size_bytes
+        self.payload_bytes = payload_bytes
+        self.flow_id = flow_id
+        self.qpn = qpn                  # destination QP number
+        self.src_qpn = src_qpn
+        self.psn = psn                  # packet sequence number (BTH)
+        self.msn = msn                  # message sequence number (DCP extension)
+        self.ssn = ssn                  # send sequence number (two-sided ops)
+        self.msg_len_pkts = msg_len_pkts    # packets in this message (RETH length)
+        self.msg_len_bytes = msg_len_bytes
+        self.msg_offset_pkts = msg_offset_pkts  # index within its message
+        self.sretry_no = sretry_no      # sender retry number (§4.5 fallback)
+        self.emsn = emsn                # cumulative expected MSN (ACK packets)
+        self.ack_psn = ack_psn          # cumulative PSN (ACK/SACK)
+        self.sack_psn = sack_psn        # PSN of the OOO packet behind a SACK
+        self.dcp_tag = dcp_tag
+        self.ecn_capable = ecn_capable
+        self.ecn_ce = ecn_ce            # congestion-experienced mark
+        self.entropy = entropy          # ECMP hash input; per-path for MP-RDMA
+        self.priority = priority        # PFC priority class
+        self.pause_priority = pause_priority  # class a PAUSE/RESUME refers to
+        self.pause_duration_ns = pause_duration_ns
+        self.is_retransmit = is_retransmit
+        self.ho_returned = ho_returned  # HO already turned around by receiver
+        self.timestamp_ns = timestamp_ns    # sender send time (RACK-TLP)
+        self.hops = hops
+        self.ingress_hint = ingress_hint    # transient: ingress port at switch
+        self.uid = next(_packet_ids) if uid < 0 else uid
 
     # ---------------------------------------------------------------- DCP
     def trim(self) -> None:
@@ -181,12 +222,119 @@ class Packet:
                 f"{' CE' if self.ecn_ce else ''})")
 
 
-def make_data_packet(src: int, dst: int, *, flow_id: int, qpn: int, src_qpn: int,
-                     psn: int, msn: int, payload: int, mtu_payload: int,
-                     msg_len_pkts: int, msg_len_bytes: int, msg_offset_pkts: int,
-                     dcp: bool, ssn: int = -1, sretry_no: int = 0,
+#: Poison written into a released packet's identity fields in debug
+#: mode.  A write-after-release changes it (caught at realloc); a read
+#: surfaces as an absurd address/PSN in whatever consumed it.
+_POISON = -0x7EADBEEF
+
+
+class PacketPool:
+    """Per-simulation free list of :class:`Packet` instances.
+
+    Allocation always assigns the uid from ``sim.packet_seq`` — a
+    per-run counter — so packet identities are deterministic regardless
+    of process-level import order or how many sims ran before this one,
+    and identical whether recycling is enabled or not.
+    """
+
+    __slots__ = ("sim", "enabled", "debug", "_free",
+                 "allocated", "reused", "released")
+
+    def __init__(self, sim: "Simulator", enabled: Optional[bool] = None,
+                 debug: Optional[bool] = None) -> None:
+        if enabled is None:
+            enabled = os.environ.get("REPRO_PACKET_POOL", "1") != "0"
+        if debug is None:
+            debug = os.environ.get("REPRO_PACKET_POOL_DEBUG", "") == "1"
+        self.sim = sim
+        self.enabled = enabled
+        self.debug = debug
+        self._free: list[Packet] = []
+        self.allocated = 0      # fresh constructions
+        self.reused = 0         # free-list hits
+        self.released = 0
+
+    def alloc(self, *args, **kw) -> Packet:
+        """Build a packet (recycled when possible); args as for Packet."""
+        sim = self.sim
+        sim.packet_seq = uid = sim.packet_seq + 1
+        free = self._free
+        if free:
+            packet = free.pop()
+            if self.debug:
+                self._check_poison(packet)
+            packet.__init__(*args, uid=uid, **kw)
+            self.reused += 1
+        else:
+            packet = Packet(*args, uid=uid, **kw)
+            self.allocated += 1
+        return packet
+
+    def release(self, packet: Packet) -> None:
+        """Return ``packet`` to the free list (terminal delivery/drop).
+
+        The caller promises the packet is dead: no queue, event or
+        protocol state may still reference it.
+        """
+        if not self.enabled:
+            return
+        if self.debug:
+            if packet.src == _POISON and packet.psn == _POISON:
+                raise RuntimeError(f"double release of packet uid={packet.uid}")
+            packet.src = _POISON
+            packet.dst = _POISON
+            packet.flow_id = _POISON
+            packet.psn = _POISON
+            packet.msn = _POISON
+            packet.ack_psn = _POISON
+            packet.payload_bytes = _POISON
+            packet.entropy = _POISON
+        self.released += 1
+        self._free.append(packet)
+
+    def _check_poison(self, packet: Packet) -> None:
+        for name in ("src", "dst", "flow_id", "psn", "msn", "ack_psn",
+                     "payload_bytes", "entropy"):
+            if getattr(packet, name) != _POISON:
+                raise RuntimeError(
+                    f"use-after-release: field {name!r} of packet "
+                    f"uid={packet.uid} was written while on the free list")
+
+
+def pool_of(sim: "Simulator") -> PacketPool:
+    """The simulation's packet pool, creating it on first use."""
+    pool = sim.packet_pool
+    if pool is None:
+        pool = sim.packet_pool = PacketPool(sim)
+    return pool
+
+
+def release(sim: "Simulator", packet: Packet) -> None:
+    """Release ``packet`` into ``sim``'s pool, if one is attached.
+
+    Terminal sites (drops, consumed deliveries) call this; packets of
+    pool-less simulations (hand-built unit-test fixtures) pass through
+    untouched.
+    """
+    pool = sim.packet_pool
+    if pool is not None:
+        if pool.enabled and not pool.debug:
+            # PacketPool.release inlined for the per-packet fast path.
+            pool.released += 1
+            pool._free.append(packet)
+        else:
+            pool.release(packet)
+
+
+def make_data_packet(src: int, dst: int, flow_id: int = -1, qpn: int = -1,
+                     src_qpn: int = -1, psn: int = -1, msn: int = -1,
+                     payload: int = 0, mtu_payload: int = 0,
+                     msg_len_pkts: int = 0, msg_len_bytes: int = 0,
+                     msg_offset_pkts: int = 0, dcp: bool = False,
+                     ssn: int = -1, sretry_no: int = 0,
                      entropy: int = 0, is_retransmit: bool = False,
-                     priority: int = 0) -> Packet:
+                     priority: int = 0,
+                     pool: Optional[PacketPool] = None) -> Packet:
     """Build a data packet with the right header overhead.
 
     DCP data packets carry the extended header (RETH in every packet,
@@ -196,35 +344,129 @@ def make_data_packet(src: int, dst: int, *, flow_id: int, qpn: int, src_qpn: int
     if payload <= 0 or payload > mtu_payload:
         raise ValueError(f"payload {payload} outside (0, {mtu_payload}]")
     header = DCP_DATA_HEADER_BYTES if dcp else ROCE_DATA_HEADER_BYTES
-    return Packet(
-        src=src, dst=dst, kind=PacketKind.DATA,
-        size_bytes=header + payload, payload_bytes=payload,
-        flow_id=flow_id, qpn=qpn, src_qpn=src_qpn, psn=psn, msn=msn, ssn=ssn,
-        msg_len_pkts=msg_len_pkts, msg_len_bytes=msg_len_bytes,
-        msg_offset_pkts=msg_offset_pkts, sretry_no=sretry_no,
-        dcp_tag=DcpTag.DCP_DATA if dcp else DcpTag.NON_DCP,
-        entropy=entropy, is_retransmit=is_retransmit, priority=priority,
-    )
+    if pool is None:
+        return Packet(
+            src=src, dst=dst, kind=PacketKind.DATA,
+            size_bytes=header + payload, payload_bytes=payload,
+            flow_id=flow_id, qpn=qpn, src_qpn=src_qpn, psn=psn, msn=msn,
+            ssn=ssn, msg_len_pkts=msg_len_pkts, msg_len_bytes=msg_len_bytes,
+            msg_offset_pkts=msg_offset_pkts, sretry_no=sretry_no,
+            dcp_tag=DcpTag.DCP_DATA if dcp else DcpTag.NON_DCP,
+            entropy=entropy, is_retransmit=is_retransmit, priority=priority,
+        )
+    # Pooled fast path: every slot is stored explicitly (same scrub
+    # guarantee as __init__) without the alloc/__init__ call frames or
+    # a second round of keyword marshalling.
+    sim = pool.sim
+    sim.packet_seq = uid = sim.packet_seq + 1
+    free = pool._free
+    if free:
+        p = free.pop()
+        if pool.debug:
+            pool._check_poison(p)
+        pool.reused += 1
+    else:
+        p = Packet.__new__(Packet)
+        pool.allocated += 1
+    p.src = src
+    p.dst = dst
+    p.kind = PacketKind.DATA
+    p.size_bytes = header + payload
+    p.payload_bytes = payload
+    p.flow_id = flow_id
+    p.qpn = qpn
+    p.src_qpn = src_qpn
+    p.psn = psn
+    p.msn = msn
+    p.ssn = ssn
+    p.msg_len_pkts = msg_len_pkts
+    p.msg_len_bytes = msg_len_bytes
+    p.msg_offset_pkts = msg_offset_pkts
+    p.sretry_no = sretry_no
+    p.emsn = -1
+    p.ack_psn = -1
+    p.sack_psn = -1
+    p.dcp_tag = DcpTag.DCP_DATA if dcp else DcpTag.NON_DCP
+    p.ecn_capable = True
+    p.ecn_ce = False
+    p.entropy = entropy
+    p.priority = priority
+    p.pause_priority = 0
+    p.pause_duration_ns = 0
+    p.is_retransmit = is_retransmit
+    p.ho_returned = False
+    p.timestamp_ns = -1
+    p.hops = 0
+    p.ingress_hint = -1
+    p.uid = uid
+    return p
 
 
-def make_ack(src: int, dst: int, *, flow_id: int, qpn: int, src_qpn: int,
-             kind: PacketKind = PacketKind.ACK, ack_psn: int = -1,
-             emsn: int = -1, sack_psn: int = -1, dcp: bool = False,
-             entropy: int = 0, priority: int = 0) -> Packet:
+def make_ack(src: int, dst: int, flow_id: int = -1, qpn: int = -1,
+             src_qpn: int = -1, kind: PacketKind = PacketKind.ACK,
+             ack_psn: int = -1, emsn: int = -1, sack_psn: int = -1,
+             dcp: bool = False, entropy: int = 0, priority: int = 0,
+             pool: Optional[PacketPool] = None) -> Packet:
     """Build an acknowledgment (ACK/SACK/NAK) packet."""
-    return Packet(
-        src=src, dst=dst, kind=kind, size_bytes=ACK_PACKET_BYTES,
-        flow_id=flow_id, qpn=qpn, src_qpn=src_qpn,
-        ack_psn=ack_psn, emsn=emsn, sack_psn=sack_psn,
-        dcp_tag=DcpTag.DCP_ACK if dcp else DcpTag.NON_DCP,
-        entropy=entropy, priority=priority,
-    )
+    if pool is None:
+        return Packet(
+            src=src, dst=dst, kind=kind, size_bytes=ACK_PACKET_BYTES,
+            flow_id=flow_id, qpn=qpn, src_qpn=src_qpn,
+            ack_psn=ack_psn, emsn=emsn, sack_psn=sack_psn,
+            dcp_tag=DcpTag.DCP_ACK if dcp else DcpTag.NON_DCP,
+            entropy=entropy, priority=priority,
+        )
+    # Pooled fast path; see make_data_packet.
+    sim = pool.sim
+    sim.packet_seq = uid = sim.packet_seq + 1
+    free = pool._free
+    if free:
+        p = free.pop()
+        if pool.debug:
+            pool._check_poison(p)
+        pool.reused += 1
+    else:
+        p = Packet.__new__(Packet)
+        pool.allocated += 1
+    p.src = src
+    p.dst = dst
+    p.kind = kind
+    p.size_bytes = ACK_PACKET_BYTES
+    p.payload_bytes = 0
+    p.flow_id = flow_id
+    p.qpn = qpn
+    p.src_qpn = src_qpn
+    p.psn = -1
+    p.msn = -1
+    p.ssn = -1
+    p.msg_len_pkts = 0
+    p.msg_len_bytes = 0
+    p.msg_offset_pkts = 0
+    p.sretry_no = 0
+    p.emsn = emsn
+    p.ack_psn = ack_psn
+    p.sack_psn = sack_psn
+    p.dcp_tag = DcpTag.DCP_ACK if dcp else DcpTag.NON_DCP
+    p.ecn_capable = True
+    p.ecn_ce = False
+    p.entropy = entropy
+    p.priority = priority
+    p.pause_priority = 0
+    p.pause_duration_ns = 0
+    p.is_retransmit = False
+    p.ho_returned = False
+    p.timestamp_ns = -1
+    p.hops = 0
+    p.ingress_hint = -1
+    p.uid = uid
+    return p
 
 
 def make_cnp(src: int, dst: int, *, flow_id: int, qpn: int, src_qpn: int,
-             dcp: bool = False) -> Packet:
+             dcp: bool = False, pool: Optional[PacketPool] = None) -> Packet:
     """Build a DCQCN congestion notification packet."""
-    return Packet(
+    new = Packet if pool is None else pool.alloc
+    return new(
         src=src, dst=dst, kind=PacketKind.CNP, size_bytes=CNP_PACKET_BYTES,
         flow_id=flow_id, qpn=qpn, src_qpn=src_qpn,
         dcp_tag=DcpTag.DCP_ACK if dcp else DcpTag.NON_DCP,

@@ -16,9 +16,10 @@ hardware prioritizes them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.net.packet import Packet, PacketKind, PAUSE_FRAME_BYTES
+from repro.net.packet import (Packet, PacketKind, PacketPool,
+                              PAUSE_FRAME_BYTES, pool_of)
 from repro.obs import registry as metrics
 from repro.obs.registry import CounterBlock
 from repro.sim import trace
@@ -49,18 +50,20 @@ class PfcConfig:
             raise ValueError("thresholds must be non-negative")
 
 
-def make_pause(priority: int) -> Packet:
+def make_pause(priority: int, pool: Optional[PacketPool] = None) -> Packet:
     """Build a PAUSE frame for ``priority``."""
-    return Packet(src=-1, dst=-1, kind=PacketKind.PAUSE,
-                  size_bytes=PAUSE_FRAME_BYTES, pause_priority=priority,
-                  ecn_capable=False)
+    new = Packet if pool is None else pool.alloc
+    return new(src=-1, dst=-1, kind=PacketKind.PAUSE,
+               size_bytes=PAUSE_FRAME_BYTES, pause_priority=priority,
+               ecn_capable=False)
 
 
-def make_resume(priority: int) -> Packet:
+def make_resume(priority: int, pool: Optional[PacketPool] = None) -> Packet:
     """Build a RESUME (zero-quanta PAUSE) frame for ``priority``."""
-    return Packet(src=-1, dst=-1, kind=PacketKind.RESUME,
-                  size_bytes=PAUSE_FRAME_BYTES, pause_priority=priority,
-                  ecn_capable=False)
+    new = Packet if pool is None else pool.alloc
+    return new(src=-1, dst=-1, kind=PacketKind.RESUME,
+               size_bytes=PAUSE_FRAME_BYTES, pause_priority=priority,
+               ecn_capable=False)
 
 
 class PfcController:
@@ -77,6 +80,7 @@ class PfcController:
         self.config = config
         self.send_frame = send_frame
         self.name = name
+        self.pool = pool_of(sim)
         self.ingress_bytes = [0] * num_ports
         self.pause_sent = [False] * num_ports
         self.stats = PfcStats()
@@ -107,7 +111,8 @@ class PfcController:
             self._pause_start[in_port] = self.sim.now
             trace.emit(self.sim.now, "pfc", self.name, action="pause",
                        port=in_port, ingress_bytes=self.ingress_bytes[in_port])
-            self.send_frame(in_port, make_pause(self.config.priority))
+            self.send_frame(in_port,
+                            make_pause(self.config.priority, pool=self.pool))
 
     def release(self, in_port: int, packet: Packet) -> None:
         """Account a buffered packet leaving the switch."""
@@ -121,4 +126,5 @@ class PfcController:
             self.paused_time_ns[in_port] += self.sim.now - self._pause_start[in_port]
             trace.emit(self.sim.now, "pfc", self.name, action="resume",
                        port=in_port, ingress_bytes=self.ingress_bytes[in_port])
-            self.send_frame(in_port, make_resume(self.config.priority))
+            self.send_frame(in_port,
+                            make_resume(self.config.priority, pool=self.pool))

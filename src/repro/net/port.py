@@ -54,6 +54,10 @@ class EgressPort:
         self.tx_packets = 0
         self.tx_bytes = 0
         self.busy_ns = 0
+        # Integer line rates (the common case) take a division-free
+        # serialization path; must round exactly like serialization_ns.
+        self._int_rate = (int(rate_bits_per_ns)
+                          if float(rate_bits_per_ns).is_integer() else 0)
 
     # ------------------------------------------------------------ control
     def pause(self, cls: int) -> None:
@@ -92,9 +96,13 @@ class EgressPort:
             return
         packet = self.queues[idx].pop()
         self.busy = True
-        ser = serialization_ns(packet.size_bytes, self.rate)
+        rate = self._int_rate
+        if rate:
+            ser = -(-packet.size_bytes * 8 // rate)
+        else:
+            ser = serialization_ns(packet.size_bytes, self.rate)
         self.busy_ns += ser
-        self.sim.schedule(ser, lambda p=packet: self._tx_done(p))
+        self.sim.call_after(ser, self._tx_done, packet)
 
     def _tx_done(self, packet: Packet) -> None:
         self.busy = False

@@ -109,13 +109,27 @@ class WrrScheduler:
 
     def select(self, blocked: Iterable[int] = ()) -> Optional[int]:
         """Index of the next queue to serve, or None if all unservable."""
-        if blocked:
+        if not blocked:
+            queues = self.queues
+            if len(queues) == 2:
+                # The switch's data/ctrl pair, unpaused: resolve the
+                # three contention-free cases without list building.
+                # Matches the generic path exactly — a single servable
+                # queue is served directly, leaving credits untouched.
+                q0, q1 = queues
+                if q0._items:
+                    if not q1._items:
+                        return 0
+                elif q1._items:
+                    return 1
+                else:
+                    return None
+            blocked = ()
+            servable = [i for i, q in enumerate(self.queues) if q]
+        else:
             blocked = set(blocked)
             servable = [i for i, q in enumerate(self.queues)
                         if q and i not in blocked]
-        else:
-            blocked = ()
-            servable = [i for i, q in enumerate(self.queues) if q]
         if not servable:
             return None
         if len(servable) == 1:
@@ -148,6 +162,11 @@ class StrictPriorityScheduler:
         self.queues = queues
 
     def select(self, blocked: Iterable[int] = ()) -> Optional[int]:
+        if not blocked:
+            for i, q in enumerate(self.queues):
+                if q._items:
+                    return i
+            return None
         blocked = set(blocked)
         for i, q in enumerate(self.queues):
             if q and i not in blocked:

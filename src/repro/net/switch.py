@@ -25,7 +25,8 @@ from typing import Optional
 
 from repro.net.ecn import EcnMarker, RedProfile
 from repro.net.link import Link
-from repro.net.packet import DcpTag, Packet, PacketKind, PAYLOAD_KINDS
+from repro.net.packet import (DcpTag, Packet, PacketKind, PAYLOAD_KINDS,
+                              release)
 from repro.net.pfc import PfcConfig, PfcController
 from repro.net.port import EgressPort
 from repro.net.queues import ByteQueue, WrrScheduler
@@ -36,6 +37,16 @@ from repro.sim.engine import Simulator
 
 DATA_CLASS = 0
 CONTROL_CLASS = 1
+
+# Fast-path branch-table actions, indexed by (DcpTag << 1) | congested.
+# The table bakes the §4.2 decision matrix (module docstring) into one
+# lookup: what happens to a packet of a given tag when the egress data
+# queue is/isn't past the trim threshold.
+_ACT_DATA = 0        # data-queue admission pipeline
+_ACT_TRIM = 1        # DCP_DATA under congestion: trim to HO
+_ACT_DROP = 2        # NON_DCP under congestion
+_ACT_DROP_ACK = 3    # DCP_ACK under congestion (extra acks_dropped count)
+_ACT_CTRL = 4        # header-only packets: control queue
 
 
 @dataclass
@@ -128,6 +139,21 @@ class Switch:
             self.pfc = PfcController(sim, config.num_ports, config.pfc,
                                      self._send_pfc_frame, name=self.name)
         self.buffered_bytes = 0
+        # --- flattened fast path ---------------------------------------
+        # Forced loss draws an RNG per payload packet, so those configs
+        # keep the (verbatim) slow path; everything else resolves the
+        # trim/drop/control decision through one precomputed table.
+        self._slow_path = config.loss_rate > 0.0
+        # With trimming off the "congested" comparison can never fire.
+        self._trim_threshold = (config.trim_threshold_bytes
+                                if config.enable_trimming else 1 << 62)
+        trimming = config.enable_trimming
+        self._actions = (
+            _ACT_DATA, _ACT_DROP,                       # NON_DCP
+            _ACT_DATA, _ACT_DROP_ACK,                   # DCP_ACK
+            _ACT_DATA, _ACT_TRIM if trimming else _ACT_DATA,  # DCP_DATA
+            _ACT_CTRL, _ACT_CTRL,                       # DCP_HO
+        )
 
     def __repr__(self) -> str:
         # Stable across processes: link names derive from device reprs
@@ -145,18 +171,80 @@ class Switch:
 
     # ------------------------------------------------------------ receive
     def receive(self, packet: Packet, in_port: int) -> None:
-        """Ingress pipeline: PFC control, routing/LB, egress enqueue."""
-        if packet.kind is PacketKind.PAUSE:
+        """Ingress pipeline: PFC control, routing/LB, egress enqueue.
+
+        The forwarding fast path runs inline here: one branch-table
+        lookup keyed on ``(DcpTag, queue-state)`` resolves trim/drop/
+        control-queue, and admitted packets go straight into the egress
+        queue.  PAUSE/RESUME frames and forced-loss configurations fall
+        back to the slow path, which is preserved verbatim in
+        :meth:`enqueue_egress`.  Decision ordering (trim -> shared
+        buffer -> ECN -> per-queue admission -> PFC charge) is identical
+        on both paths — see DESIGN.md "Hot-path invariants".
+        """
+        kind = packet.kind
+        if kind is PacketKind.PAUSE:
             self.ports[in_port].pause(DATA_CLASS)
+            release(self.sim, packet)
             return
-        if packet.kind is PacketKind.RESUME:
+        if kind is PacketKind.RESUME:
             self.ports[in_port].resume(DATA_CLASS)
+            release(self.sim, packet)
             return
         candidates = self.routing_table.get(packet.dst)
         if not candidates:
             raise KeyError(f"{self.name}: no route to host {packet.dst}")
         egress = self.lb.pick(self, packet, candidates)
-        self.enqueue_egress(packet, egress, in_port)
+        if self._slow_path:
+            self.enqueue_egress(packet, egress, in_port)
+            return
+
+        port = self.ports[egress]
+        data_q = port.queues[DATA_CLASS]
+        stats = self.stats
+        act = self._actions[(packet.dcp_tag << 1)
+                            | (data_q.bytes > self._trim_threshold)]
+        if act == _ACT_DATA:
+            size = packet.size_bytes
+            if self.buffered_bytes + size > self.config.buffer_bytes:
+                stats.dropped_buffer += 1
+                release(self.sim, packet)
+                return
+            marker = self.ecn_markers[egress]
+            if marker is not None and kind is PacketKind.DATA:
+                if marker.maybe_mark(packet, data_q.bytes):
+                    stats.ecn_marked += 1
+                    trace.emit(self.sim.now, "ecn", self.name,
+                               flow_id=packet.flow_id, psn=packet.psn,
+                               queue_bytes=data_q.bytes)
+            packet.ingress_hint = in_port
+            if data_q.would_overflow(packet):
+                stats.dropped_congestion += 1
+                release(self.sim, packet)
+                return
+            self.buffered_bytes += size
+            if self.pfc is not None:
+                self.pfc.charge(in_port, packet)
+            data_q.push(packet)
+            if not port.busy:
+                port._send_next()
+            stats.forwarded += 1
+        elif act == _ACT_TRIM:
+            packet.trim()
+            stats.trimmed += 1
+            trace.emit(self.sim.now, "trim", self.name,
+                       flow_id=packet.flow_id, psn=packet.psn)
+            self._enqueue_control(packet, port, in_port)
+        elif act == _ACT_CTRL:
+            self._enqueue_control(packet, port, in_port)
+        else:
+            if act == _ACT_DROP_ACK:
+                stats.acks_dropped += 1
+            stats.dropped_congestion += 1
+            trace.emit(self.sim.now, "drop", self.name,
+                       flow_id=packet.flow_id, psn=packet.psn,
+                       reason="congestion")
+            release(self.sim, packet)
 
     # ------------------------------------------------------------ enqueue
     def enqueue_egress(self, packet: Packet, egress: int, in_port: int) -> None:
@@ -181,6 +269,7 @@ class Switch:
                 trace.emit(self.sim.now, "drop", self.name,
                            flow_id=packet.flow_id, psn=packet.psn,
                            reason="forced")
+                release(self.sim, packet)
             return
 
         # DCP packet trimming module (§4.2).
@@ -199,11 +288,13 @@ class Switch:
                 trace.emit(self.sim.now, "drop", self.name,
                            flow_id=packet.flow_id, psn=packet.psn,
                            reason="congestion")
+                release(self.sim, packet)
             return
 
         # Shared-buffer admission.
         if self.buffered_bytes + packet.size_bytes > self.config.buffer_bytes:
             self.stats.dropped_buffer += 1
+            release(self.sim, packet)
             return
 
         marker = self.ecn_markers[egress]
@@ -217,6 +308,7 @@ class Switch:
         packet.ingress_hint = in_port
         if data_q.would_overflow(packet):
             self.stats.dropped_congestion += 1
+            release(self.sim, packet)
             return
         self.buffered_bytes += packet.size_bytes
         if self.pfc is not None:
@@ -232,6 +324,7 @@ class Switch:
             # "HO packet loss is very rare" (footnote 1) but not impossible:
             # count it so Table 5 can measure the loss ratio.
             self.stats.ho_dropped += 1
+            release(self.sim, packet)
             return
         packet.ingress_hint = in_port
         self.buffered_bytes += packet.size_bytes
@@ -263,7 +356,7 @@ class Switch:
         neighbor, their_port = neighbor_info
         link = self.ports[in_port].link
         delay = link.prop_delay_ns if link is not None else 0
-        self.sim.schedule(delay, lambda: neighbor.receive(frame, their_port))
+        self.sim.call_after(delay, neighbor.receive, frame, their_port)
 
     # -------------------------------------------------------------- stats
     def queue_bytes(self, egress: int) -> int:

@@ -18,12 +18,13 @@ receiver state machines.
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.cc.base import CongestionControl, StaticWindowCc
-from repro.net.packet import Packet, PacketKind
+from repro.net.packet import Packet, PacketKind, pool_of
 from repro.obs import registry as metrics
 from repro.obs.registry import CounterBlock
 from repro.sim import trace
@@ -32,6 +33,12 @@ from repro.sim.units import serialization_ns
 
 _qpn_counter = itertools.count(1)
 _flow_counter = itertools.count(1)
+
+#: Sentinels returned by :meth:`RnicTransport._qp_poll` — "nothing
+#: posted, leave the round-robin ring" vs "gated until next_send_ns,
+#: stay in the ring".
+_NO_WORK = object()
+_GATED = object()
 
 
 @dataclass
@@ -188,8 +195,14 @@ class QueuePair:
         self.next_send_ns = 0            # pacing gate
         self.round_bytes_left = 0        # QP-scheduler round quota
         self.entropy = 0                 # default path entropy (ECMP)
+        self._bases: list[int] = []      # base_psn per message, for bisect
+        self._last_msg = None            # psn_to_message single-entry cache
         # --- generic receiver state ----------------------------------------
         self.rx: dict = {}
+        # Transport-private per-QP state, cached here so the per-packet
+        # paths skip a dict lookup (each QP belongs to one transport).
+        self.tx_state = None
+        self.rx_state = None
 
     def post(self, flow: Flow, size_bytes: int, mtu_payload: int) -> Message:
         """Append a message to the send queue (one WQE)."""
@@ -201,15 +214,27 @@ class QueuePair:
         self.posted_bytes += size_bytes
         self.send_queue.append(msg)
         self.messages[msg.msn] = msg
+        self._bases.append(msg.base_psn)
         return msg
 
     def psn_to_message(self, psn: int) -> Message:
-        """Locate the message containing ``psn`` (binary search by base)."""
-        # Messages are created with monotonically increasing base_psn, so a
-        # linear scan from the end is fine for the handful of outstanding
-        # messages RNICs track (NCCL posts ~8 per QP, §4.5).
-        for msg in reversed(self.messages.values()):
-            if msg.base_psn <= psn < msg.base_psn + msg.num_pkts:
+        """Locate the message containing ``psn`` (binary search by base).
+
+        Messages are created with monotonically increasing base_psn and
+        msn (list index == msn), so a bisect over the recorded bases
+        resolves any PSN in O(log n) — retransmission paths routinely
+        ask about old PSNs, which made the previous scan-from-the-end
+        quadratic on long flows.
+        """
+        msg = self._last_msg
+        if msg is not None and msg.base_psn <= psn < msg.base_psn + msg.num_pkts:
+            return msg
+        idx = bisect_right(self._bases, psn) - 1
+        if idx >= 0:
+            msg = self.messages.get(idx)
+            if (msg is not None
+                    and msg.base_psn <= psn < msg.base_psn + msg.num_pkts):
+                self._last_msg = msg
                 return msg
         raise KeyError(f"PSN {psn} not found on QP {self.qpn}")
 
@@ -227,12 +252,23 @@ class RestartableTimer:
         return self._token is not None and not self._token.cancelled
 
     def restart(self, delay_ns: int) -> None:
-        self.cancel()
+        # cancel() inlined: this runs once per ACK on every transport.
+        token = self._token
+        if token is not None and not token.cancelled:
+            token.cancelled = True
+            sim = token._sim
+            if sim is not None:
+                sim._heap_dead += 1
         self._token = self.sim.schedule(delay_ns, self._fire)
 
     def cancel(self) -> None:
-        if self._token is not None:
-            self._token.cancel()
+        token = self._token
+        if token is not None:
+            if not token.cancelled:
+                token.cancelled = True
+                sim = token._sim
+                if sim is not None:
+                    sim._heap_dead += 1
             self._token = None
 
     def _fire(self) -> None:
@@ -251,7 +287,12 @@ class HostNic:
     def __init__(self, sim: Simulator, rate_bits_per_ns: float,
                  name: str = "nic") -> None:
         self.sim = sim
+        self._call_after = sim.call_after   # bound-method cache (hot path)
         self.rate = rate_bits_per_ns
+        # Integer line rates skip the float path in serialization; the
+        # rounding matches serialization_ns exactly.
+        self._int_rate = (int(rate_bits_per_ns)
+                          if float(rate_bits_per_ns).is_integer() else 0)
         self.name = name
         self.link = None
         self.source = None               # the transport (poll_tx provider)
@@ -271,8 +312,21 @@ class HostNic:
         self.source = source
 
     def send_control(self, packet: Packet) -> None:
-        self.ctrl.append(packet)
-        self.kick()
+        if self.busy or self.paused or self.link is None:
+            self.ctrl.append(packet)
+            return
+        # Idle transmitter: put the frame straight on the wire (kick()
+        # inlined; the FIFO is drained first so ordering is preserved).
+        if self.ctrl:
+            self.ctrl.append(packet)
+            packet = self.ctrl.popleft()
+        self.busy = True
+        rate = self._int_rate
+        if rate:
+            ser = -(-packet.size_bytes * 8 // rate)
+        else:
+            ser = serialization_ns(packet.size_bytes, self.rate)
+        self._call_after(ser, self._tx_done, packet)
 
     def pause(self) -> None:
         self.paused = True
@@ -293,15 +347,39 @@ class HostNic:
         if packet is None:
             return
         self.busy = True
-        ser = serialization_ns(packet.size_bytes, self.rate)
-        self.sim.schedule(ser, lambda p=packet: self._tx_done(p))
+        rate = self._int_rate
+        if rate:
+            ser = -(-packet.size_bytes * 8 // rate)
+        else:
+            ser = serialization_ns(packet.size_bytes, self.rate)
+        self._call_after(ser, self._tx_done, packet)
 
     def _tx_done(self, packet: Packet) -> None:
         self.busy = False
         self.tx_packets += 1
         self.tx_bytes += packet.size_bytes
+        # Always through the method: tests (and chaos scenarios) wrap
+        # link.deliver on the instance, so the Tx path must not bypass it.
         self.link.deliver(packet)
-        self.kick()
+        # kick() inlined — this is the hottest transmit site, and the
+        # transmitter is known idle here.
+        if self.paused:
+            return
+        if self.ctrl:
+            nxt = self.ctrl.popleft()
+        elif self.source is not None:
+            nxt = self.source.poll_tx()
+        else:
+            return
+        if nxt is None:
+            return
+        self.busy = True
+        rate = self._int_rate
+        if rate:
+            ser = -(-nxt.size_bytes * 8 // rate)
+        else:
+            ser = serialization_ns(nxt.size_bytes, self.rate)
+        self._call_after(ser, self._tx_done, nxt)
 
 
 class RnicTransport(Entity):
@@ -323,6 +401,9 @@ class RnicTransport(Entity):
         super().__init__(sim)
         self.host_id = host_id
         self.config = config
+        #: Per-simulation packet free list; all tx packets come from it
+        #: and terminal rx packets return to it (see repro.net.packet).
+        self.pool = pool_of(sim)
         self.nic: Optional[HostNic] = None
         self.qps: dict[int, QueuePair] = {}
         self._rr: deque[QueuePair] = deque()
@@ -393,36 +474,59 @@ class RnicTransport(Entity):
         if qp.qpn not in self._rr_member:
             self._rr.append(qp)
             self._rr_member.add(qp.qpn)
-        if self.nic is not None:
-            self.nic.kick()
+        nic = self.nic
+        if nic is not None and not nic.busy:
+            nic.kick()
+
+    def _qp_poll(self, qp: QueuePair, now: int):
+        """Combined scheduler probe for one QP.
+
+        Returns ``_NO_WORK`` (nothing posted — leave the ring),
+        ``_GATED`` (pacing/CPU gate at ``qp.next_send_ns`` — stay),
+        ``None`` (has work but cannot send yet — stay), or the next
+        packet.  The base implementation composes the fine-grained
+        hooks; hot transports override it to answer in a single call.
+        """
+        if not self._qp_has_work(qp):
+            return _NO_WORK
+        if qp.next_send_ns > now:
+            return _GATED
+        return self._qp_next_packet(qp)
 
     def poll_tx(self) -> Optional[Packet]:
         """NIC pull: next packet from the QP scheduler, or None."""
-        now = self.now
+        now = self.sim.now
+        rr = self._rr
         earliest_gate: Optional[int] = None
-        for _ in range(len(self._rr)):
-            qp = self._rr[0]
-            if not self._qp_has_work(qp):
-                self._rr.popleft()
+        poll = self._qp_poll
+        n = len(rr)
+        while n:
+            n -= 1
+            qp = rr[0]
+            r = poll(qp, now)
+            if r is None:
+                rr.rotate(-1)
+                continue
+            if r is _NO_WORK:
+                rr.popleft()
                 self._rr_member.discard(qp.qpn)
                 continue
-            if qp.next_send_ns > now:
-                earliest_gate = (qp.next_send_ns if earliest_gate is None
-                                 else min(earliest_gate, qp.next_send_ns))
-                self._rr.rotate(-1)
+            if r is _GATED:
+                gate = qp.next_send_ns
+                if earliest_gate is None or gate < earliest_gate:
+                    earliest_gate = gate
+                rr.rotate(-1)
                 continue
-            packet = self._qp_next_packet(qp)
-            if packet is None:
-                self._rr.rotate(-1)
-                continue
-            gap = qp.cc.pacing_delay_ns(packet.size_bytes)
-            if gap > 0:
-                qp.next_send_ns = now + gap
-            qp.round_bytes_left -= packet.size_bytes
+            cc = qp.cc
+            if cc.paces:
+                gap = cc.pacing_delay_ns(r.size_bytes)
+                if gap > 0:
+                    qp.next_send_ns = now + gap
+            qp.round_bytes_left -= r.size_bytes
             if qp.round_bytes_left <= 0:
                 qp.round_bytes_left = self.config.round_quota_bytes
-                self._rr.rotate(-1)
-            return packet
+                rr.rotate(-1)
+            return r
         if earliest_gate is not None:
             self._schedule_kick(earliest_gate)
         return None
@@ -431,7 +535,7 @@ class RnicTransport(Entity):
         """Wake the NIC at ``at_ns`` (coalescing duplicate wakeups)."""
         if self._kick_token is not None and not self._kick_token.cancelled:
             return
-        delay = max(0, at_ns - self.now)
+        delay = max(0, at_ns - self.sim.now)
         self._kick_token = self.sim.schedule(delay, self._kick_now)
 
     def _kick_now(self) -> None:
@@ -440,26 +544,58 @@ class RnicTransport(Entity):
             self.nic.kick()
 
     # ----------------------------------------------------------- receiving
-    def on_packet(self, packet: Packet) -> None:
-        """Dispatch an arriving packet to the protocol handler."""
+    def receive(self, packet: Packet, in_port: int = 0) -> None:
+        """Wire-side entry point: dispatch straight to the handler.
+
+        Hosts bind their ingress links directly to this method, so a
+        delivered packet pays exactly one dispatch frame.  Delivery is
+        terminal for every kind but HO: handlers only read the packet
+        (retransmissions are rebuilt from message state), so it returns
+        to the pool here.  HO packets manage their own lifetime — the
+        receiver turns the *same object* around and re-sends it (§4.1),
+        so :meth:`_on_ho` decides.  PFC frames act on the NIC and stop
+        here.
+        """
         qp = self.qps.get(packet.qpn)
         if qp is None:
-            return  # stale packet for a destroyed QP
-        kind = packet.kind
-        if kind is PacketKind.DATA:
-            self._on_data(qp, packet)
-        elif kind is PacketKind.ACK:
-            self._on_ack(qp, packet)
-        elif kind is PacketKind.SACK:
-            self._on_sack(qp, packet)
-        elif kind is PacketKind.NAK:
-            self._on_nak(qp, packet)
-        elif kind is PacketKind.HO:
-            self._on_ho(qp, packet)
-        elif kind is PacketKind.CNP:
-            qp.cc.on_cnp(self.now)
-        else:  # pragma: no cover - PAUSE handled at the host
-            raise ValueError(f"unexpected packet kind {kind}")
+            kind = packet.kind
+            if kind is PacketKind.PAUSE:
+                self.nic.pause()
+            elif kind is PacketKind.RESUME:
+                self.nic.resume()
+            # else: stale packet for a destroyed QP
+        else:
+            kind = packet.kind
+            if kind is PacketKind.DATA:
+                self._on_data(qp, packet)
+            elif kind is PacketKind.ACK:
+                self._on_ack(qp, packet)
+            elif kind is PacketKind.SACK:
+                self._on_sack(qp, packet)
+            elif kind is PacketKind.NAK:
+                self._on_nak(qp, packet)
+            elif kind is PacketKind.HO:
+                self._on_ho(qp, packet)
+                return
+            elif kind is PacketKind.CNP:
+                qp.cc.on_cnp(self.sim.now)
+            elif kind is PacketKind.PAUSE:
+                self.nic.pause()
+            elif kind is PacketKind.RESUME:
+                self.nic.resume()
+            else:  # pragma: no cover
+                raise ValueError(f"unexpected packet kind {kind}")
+        # Terminal: return the packet to the pool (release() inlined).
+        pool = self.pool
+        if pool.enabled and not pool.debug:
+            pool.released += 1
+            pool._free.append(packet)
+        else:
+            pool.release(packet)
+
+    def on_packet(self, packet: Packet) -> None:
+        """Compatibility alias for :meth:`receive` (no port argument)."""
+        self.receive(packet, 0)
 
     # --- handlers subclasses override ------------------------------------
     def _qp_next_packet(self, qp: QueuePair) -> Optional[Packet]:
@@ -492,12 +628,13 @@ class RnicTransport(Entity):
         if not packet.ecn_ce:
             return
         last = qp.rx.get("last_cnp_ns", -1 << 60)
-        if self.now - last < self.config.cnp_interval_ns:
+        if self.sim.now - last < self.config.cnp_interval_ns:
             return
-        qp.rx["last_cnp_ns"] = self.now
+        qp.rx["last_cnp_ns"] = self.sim.now
         from repro.net.packet import make_cnp
         cnp = make_cnp(self.host_id, qp.peer_host_id, flow_id=packet.flow_id,
-                       qpn=qp.peer_qpn, src_qpn=qp.qpn, dcp=self.dcp_wire)
+                       qpn=qp.peer_qpn, src_qpn=qp.qpn, dcp=self.dcp_wire,
+                       pool=self.pool)
         self.nic.send_control(cnp)
 
     def flow_of(self, packet: Packet) -> Optional[Flow]:
@@ -543,12 +680,12 @@ class RnicTransport(Entity):
     def count_retransmit(self, flow: Flow) -> None:
         flow.stats.retx_pkts_sent += 1
         self.stats.retx_pkts += 1
-        trace.emit(self.now, "retx", self._actor, flow_id=flow.flow_id)
+        trace.emit(self.sim.now, "retx", self._actor, flow_id=flow.flow_id)
 
     def count_timeout(self, flow: Flow) -> None:
         flow.stats.timeouts += 1
         self.stats.timeouts += 1
-        trace.emit(self.now, "timeout", self._actor, flow_id=flow.flow_id)
+        trace.emit(self.sim.now, "timeout", self._actor, flow_id=flow.flow_id)
 
     def count_coarse_timeout(self, flow: Flow) -> None:
         """A coarse-grained fallback timer fired (§4.5).
@@ -571,14 +708,15 @@ class Host(Entity):
         self.nic = nic
         self.transport = transport
         transport.attach_nic(nic)
+        # Ingress links resolve ``dst.receive`` once at wiring time; the
+        # instance attribute routes them straight to the transport's
+        # dispatch, skipping a per-packet forwarding frame here.
+        self.receive = transport.receive
 
-    def receive(self, packet: Packet, in_port: int) -> None:
-        if packet.kind is PacketKind.PAUSE:
-            self.nic.pause()
-        elif packet.kind is PacketKind.RESUME:
-            self.nic.resume()
-        else:
-            self.transport.on_packet(packet)
+    def receive(self, packet: Packet, in_port: int) -> None:  # type: ignore[no-redef]
+        # Shadowed by the instance attribute set in __init__; kept so
+        # the Device protocol reads naturally on the class.
+        self.transport.receive(packet, in_port)
 
     def __repr__(self) -> str:
         # Stable across processes: link names derive from device reprs,

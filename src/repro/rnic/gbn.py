@@ -17,7 +17,7 @@ from typing import Optional
 
 from repro.net.packet import Packet, PacketKind, make_ack, make_data_packet
 from repro.rnic.base import (Flow, Message, QueuePair, RestartableTimer,
-                             RnicTransport, TransportConfig)
+                             RnicTransport, TransportConfig, _GATED, _NO_WORK)
 from repro.sim.engine import Simulator
 
 
@@ -55,27 +55,78 @@ class GbnTransport(RnicTransport):
         self._rcv: dict[int, _GbnRecvState] = {}
 
     def _send_state(self, qp: QueuePair) -> _GbnSendState:
-        st = self._snd.get(qp.qpn)
+        st = qp.tx_state
         if st is None:
             st = _GbnSendState()
             st.timer = RestartableTimer(self.sim, lambda q=qp: self._on_rto(q))
-            self._snd[qp.qpn] = st
+            self._snd[qp.qpn] = qp.tx_state = st
         return st
 
     def _recv_state(self, qp: QueuePair) -> _GbnRecvState:
-        st = self._rcv.get(qp.qpn)
+        st = qp.rx_state
         if st is None:
             st = _GbnRecvState()
-            self._rcv[qp.qpn] = st
+            self._rcv[qp.qpn] = qp.rx_state = st
         return st
 
     # -------------------------------------------------------------- sender
+    def _qp_poll(self, qp: QueuePair, now: int):
+        """One-call scheduler probe (see base class) — the GBN fast path.
+
+        Mirrors ``_qp_has_work`` + ``_qp_next_packet`` exactly, with
+        ``payload_of`` and the static-window check inlined and the
+        packet built with positional arguments.
+        """
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
+        snd_nxt = st.snd_nxt
+        if snd_nxt >= qp.next_psn:
+            return _NO_WORK
+        if qp.next_send_ns > now:
+            return _GATED
+        mtu = self.config.mtu_payload
+        msg = qp.psn_to_message(snd_nxt)
+        off = snd_nxt - msg.base_psn
+        if off < msg.num_pkts - 1:
+            payload = mtu
+        else:
+            payload = msg.size_bytes - (msg.num_pkts - 1) * mtu
+        cc = qp.cc
+        wb = cc.window_bytes
+        if wb is None:
+            if cc.available_window((snd_nxt - st.snd_una) * mtu) < payload:
+                return None
+        elif wb - (snd_nxt - st.snd_una) * mtu < payload:
+            return None
+        is_retx = snd_nxt <= st.max_sent
+        packet = make_data_packet(
+            self.host_id, qp.peer_host_id, msg.flow.flow_id, qp.peer_qpn,
+            qp.qpn, snd_nxt, msg.msn, payload, mtu, msg.num_pkts,
+            msg.size_bytes, off, False, -1, 0, qp.entropy, is_retx, 0,
+            self.pool)
+        if is_retx:
+            self.count_retransmit(msg.flow)
+        else:
+            msg.flow.stats.data_pkts_sent += 1
+            st.max_sent = snd_nxt
+        st.snd_nxt = snd_nxt + 1
+        timer = st.timer
+        token = timer._token
+        if token is None or token.cancelled:
+            timer.restart(self.config.rto_ns)
+        return packet
+
     def _qp_has_work(self, qp: QueuePair) -> bool:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         return st.snd_nxt < qp.next_psn
 
     def _qp_next_packet(self, qp: QueuePair) -> Optional[Packet]:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         if st.snd_nxt >= qp.next_psn:
             return None
         msg = qp.psn_to_message(st.snd_nxt)
@@ -90,7 +141,7 @@ class GbnTransport(RnicTransport):
             payload=payload, mtu_payload=self.config.mtu_payload,
             msg_len_pkts=msg.num_pkts, msg_len_bytes=msg.size_bytes,
             msg_offset_pkts=st.snd_nxt - msg.base_psn, dcp=False,
-            entropy=qp.entropy, is_retransmit=is_retx,
+            entropy=qp.entropy, is_retransmit=is_retx, pool=self.pool,
         )
         if is_retx:
             self.count_retransmit(msg.flow)
@@ -103,23 +154,29 @@ class GbnTransport(RnicTransport):
         return packet
 
     def _on_rto(self, qp: QueuePair) -> None:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         if st.snd_una >= qp.next_psn:
             return  # everything acked; stale timer
         flow = qp.psn_to_message(st.snd_una).flow
         self.count_timeout(flow)
-        qp.cc.on_timeout(self.now)
+        qp.cc.on_timeout(self.sim.now)
         st.snd_nxt = st.snd_una  # go back to the oldest unacked packet
         st.timer.restart(self.config.rto_ns)
         self._activate(qp)
 
     def _on_ack(self, qp: QueuePair, packet: Packet) -> None:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         new_una = packet.ack_psn + 1
         if new_una > st.snd_una:
             acked_bytes = (new_una - st.snd_una) * self.config.mtu_payload
             st.snd_una = new_una
-            qp.cc.on_ack(acked_bytes, self.now)
+            cc = qp.cc
+            if cc.wants_ack:
+                cc.on_ack(acked_bytes, self.sim.now)
             self._complete_messages(qp, st)
             if st.snd_una >= qp.next_psn:
                 st.timer.cancel()
@@ -134,19 +191,24 @@ class GbnTransport(RnicTransport):
             if st.snd_una >= msg.base_psn + msg.num_pkts:
                 msg.acked = True
                 if msg.flow.tx_complete_ns is None and self._flow_fully_acked(qp, msg.flow):
-                    msg.flow.tx_complete_ns = self.now
+                    msg.flow.tx_complete_ns = self.sim.now
 
     def _flow_fully_acked(self, qp: QueuePair, flow: Flow) -> bool:
         return all(m.acked for m in qp.messages.values() if m.flow is flow)
 
     def _on_nak(self, qp: QueuePair, packet: Packet) -> None:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         epsn = packet.ack_psn
         if epsn >= st.snd_nxt:
             return
         if epsn > st.snd_una:
             # Everything before the NAK'ed PSN was received in order.
-            qp.cc.on_ack((epsn - st.snd_una) * self.config.mtu_payload, self.now)
+            cc = qp.cc
+            if cc.wants_ack:
+                cc.on_ack((epsn - st.snd_una) * self.config.mtu_payload,
+                          self.sim.now)
             st.snd_una = epsn
             self._complete_messages(qp, st)
         st.snd_nxt = max(st.snd_una, epsn)
@@ -156,13 +218,15 @@ class GbnTransport(RnicTransport):
 
     # ------------------------------------------------------------ receiver
     def _on_data(self, qp: QueuePair, packet: Packet) -> None:
-        st = self._recv_state(qp)
+        st = qp.rx_state
+        if st is None:
+            st = self._recv_state(qp)
         if packet.psn == st.epsn:
             st.epsn += 1
             st.nak_outstanding = False
             flow = self.flow_of(packet)
             if flow is not None:
-                flow.deliver(packet.payload_bytes, self.now)
+                flow.deliver(packet.payload_bytes, self.sim.now)
             self._send_ack(qp, PacketKind.ACK, ack_psn=packet.psn)
         elif packet.psn > st.epsn:
             # Out of order: GBN drops it and NAKs the expected PSN once.
@@ -177,7 +241,9 @@ class GbnTransport(RnicTransport):
             self._send_ack(qp, PacketKind.ACK, ack_psn=st.epsn - 1)
 
     def _send_ack(self, qp: QueuePair, kind: PacketKind, ack_psn: int) -> None:
-        ack = make_ack(self.host_id, qp.peer_host_id, flow_id=-1,
-                       qpn=qp.peer_qpn, src_qpn=qp.qpn, kind=kind,
-                       ack_psn=ack_psn, dcp=False, entropy=qp.entropy)
+        # Positional make_ack: (flow_id, qpn, src_qpn, kind, ack_psn,
+        # emsn, sack_psn, dcp, entropy, priority, pool).
+        ack = make_ack(self.host_id, qp.peer_host_id, -1, qp.peer_qpn,
+                       qp.qpn, kind, ack_psn, -1, -1, False, qp.entropy, 0,
+                       self.pool)
         self.nic.send_control(ack)

@@ -77,27 +77,31 @@ class IrnTransport(RnicTransport):
         return self.stats.spurious_retx
 
     def _send_state(self, qp: QueuePair) -> _IrnSendState:
-        st = self._snd.get(qp.qpn)
+        st = qp.tx_state
         if st is None:
             st = _IrnSendState()
             st.timer = RestartableTimer(self.sim, lambda q=qp: self._on_rto(q))
-            self._snd[qp.qpn] = st
+            self._snd[qp.qpn] = qp.tx_state = st
         return st
 
     def _recv_state(self, qp: QueuePair) -> _IrnRecvState:
-        st = self._rcv.get(qp.qpn)
+        st = qp.rx_state
         if st is None:
             st = _IrnRecvState()
-            self._rcv[qp.qpn] = st
+            self._rcv[qp.qpn] = qp.rx_state = st
         return st
 
     # -------------------------------------------------------------- sender
     def _qp_has_work(self, qp: QueuePair) -> bool:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         return bool(st.rtx_queue) or st.snd_nxt < qp.next_psn
 
     def _qp_next_packet(self, qp: QueuePair) -> Optional[Packet]:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         # Retransmissions take priority over new data.
         while st.rtx_queue:
             psn = st.rtx_queue.popleft()
@@ -126,7 +130,7 @@ class IrnTransport(RnicTransport):
             payload=payload, mtu_payload=self.config.mtu_payload,
             msg_len_pkts=msg.num_pkts, msg_len_bytes=msg.size_bytes,
             msg_offset_pkts=psn - msg.base_psn, dcp=False,
-            entropy=qp.entropy, is_retransmit=is_retx,
+            entropy=qp.entropy, is_retransmit=is_retx, pool=self.pool,
         )
         if is_retx:
             self.count_retransmit(msg.flow)
@@ -143,12 +147,14 @@ class IrnTransport(RnicTransport):
         return self.config.rto_ns
 
     def _on_rto(self, qp: QueuePair) -> None:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         if st.snd_una >= qp.next_psn and not st.rtx_queue:
             return
         flow = qp.psn_to_message(min(st.snd_una, qp.next_psn - 1)).flow
         self.count_timeout(flow)
-        qp.cc.on_timeout(self.now)
+        qp.cc.on_timeout(self.sim.now)
         # Retransmit every unacked, unSACKed packet; fresh recovery episode.
         st.in_recovery = True
         st.recovery_high = st.max_sent
@@ -169,7 +175,9 @@ class IrnTransport(RnicTransport):
         acked_bytes = (new_una - st.snd_una) * self.config.mtu_payload
         st.snd_una = new_una
         st.sacked = {p for p in st.sacked if p >= new_una}
-        qp.cc.on_ack(acked_bytes, self.now)
+        cc = qp.cc
+        if cc.wants_ack:
+            cc.on_ack(acked_bytes, self.sim.now)
         if st.in_recovery and st.snd_una > st.recovery_high:
             st.in_recovery = False
             st.rtx_marked.clear()
@@ -186,13 +194,15 @@ class IrnTransport(RnicTransport):
                 msg.acked = True
                 if msg.flow.tx_complete_ns is None and all(
                         m.acked for m in qp.messages.values() if m.flow is msg.flow):
-                    msg.flow.tx_complete_ns = self.now
+                    msg.flow.tx_complete_ns = self.sim.now
 
     def _on_ack(self, qp: QueuePair, packet: Packet) -> None:
         self._advance_cumulative(qp, self._send_state(qp), packet.ack_psn)
 
     def _on_sack(self, qp: QueuePair, packet: Packet) -> None:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         self._advance_cumulative(qp, st, packet.ack_psn)
         sacked_psn = packet.sack_psn
         if sacked_psn < st.snd_una or sacked_psn > st.max_sent:
@@ -214,7 +224,9 @@ class IrnTransport(RnicTransport):
 
     # ------------------------------------------------------------ receiver
     def _on_data(self, qp: QueuePair, packet: Packet) -> None:
-        st = self._recv_state(qp)
+        st = qp.rx_state
+        if st is None:
+            st = self._recv_state(qp)
         self.maybe_send_cnp(qp, packet)
         flow = self.flow_of(packet)
         if packet.psn < st.epsn or packet.psn in st.ooo:
@@ -225,7 +237,7 @@ class IrnTransport(RnicTransport):
             self._send_ack(qp, PacketKind.ACK, ack_psn=st.epsn - 1)
             return
         if flow is not None:
-            flow.deliver(packet.payload_bytes, self.now)
+            flow.deliver(packet.payload_bytes, self.sim.now)
         if packet.psn == st.epsn:
             st.epsn += 1
             while st.epsn in st.ooo:
@@ -242,5 +254,5 @@ class IrnTransport(RnicTransport):
         ack = make_ack(self.host_id, qp.peer_host_id, flow_id=-1,
                        qpn=qp.peer_qpn, src_qpn=qp.qpn, kind=kind,
                        ack_psn=ack_psn, sack_psn=sack_psn, dcp=False,
-                       entropy=qp.entropy)
+                       entropy=qp.entropy, pool=self.pool)
         self.nic.send_control(ack)

@@ -74,28 +74,32 @@ class MpRdmaTransport(RnicTransport):
         return self.stats.ooo_drops
 
     def _send_state(self, qp: QueuePair) -> _MpSendState:
-        st = self._snd.get(qp.qpn)
+        st = qp.tx_state
         if st is None:
             initial = max(4.0, self.config.window_bytes / self.config.mtu_payload)
             st = _MpSendState(initial_cwnd=initial)
             st.timer = RestartableTimer(self.sim, lambda q=qp: self._on_rto(q))
-            self._snd[qp.qpn] = st
+            self._snd[qp.qpn] = qp.tx_state = st
         return st
 
     def _recv_state(self, qp: QueuePair) -> _MpRecvState:
-        st = self._rcv.get(qp.qpn)
+        st = qp.rx_state
         if st is None:
             st = _MpRecvState()
-            self._rcv[qp.qpn] = st
+            self._rcv[qp.qpn] = qp.rx_state = st
         return st
 
     # -------------------------------------------------------------- sender
     def _qp_has_work(self, qp: QueuePair) -> bool:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         return st.snd_nxt < qp.next_psn
 
     def _qp_next_packet(self, qp: QueuePair) -> Optional[Packet]:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         if st.snd_nxt >= qp.next_psn:
             return None
         if st.snd_nxt - st.snd_una >= max(1, int(st.cwnd_pkts)):
@@ -113,7 +117,7 @@ class MpRdmaTransport(RnicTransport):
             payload=payload, mtu_payload=self.config.mtu_payload,
             msg_len_pkts=msg.num_pkts, msg_len_bytes=msg.size_bytes,
             msg_offset_pkts=st.snd_nxt - msg.base_psn, dcp=False,
-            entropy=entropy, is_retransmit=is_retx,
+            entropy=entropy, is_retransmit=is_retx, pool=self.pool,
         )
         if is_retx:
             self.count_retransmit(msg.flow)
@@ -126,7 +130,9 @@ class MpRdmaTransport(RnicTransport):
         return packet
 
     def _on_rto(self, qp: QueuePair) -> None:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         if st.snd_una >= qp.next_psn:
             return
         flow = qp.psn_to_message(st.snd_una).flow
@@ -137,7 +143,9 @@ class MpRdmaTransport(RnicTransport):
         self._activate(qp)
 
     def _on_ack(self, qp: QueuePair, packet: Packet) -> None:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         # MP-RDMA's adaptive window: AIMD driven by the ECN echo.
         if packet.ecn_ce:
             st.cwnd_pkts = max(2.0, st.cwnd_pkts - 0.5)
@@ -145,8 +153,10 @@ class MpRdmaTransport(RnicTransport):
             st.cwnd_pkts += 1.0 / max(1.0, st.cwnd_pkts)
         new_una = packet.ack_psn + 1
         if new_una > st.snd_una:
-            qp.cc.on_ack((new_una - st.snd_una) * self.config.mtu_payload,
-                         self.now)
+            cc = qp.cc
+            if cc.wants_ack:
+                cc.on_ack((new_una - st.snd_una) * self.config.mtu_payload,
+                         self.sim.now)
             st.snd_una = new_una
             st.awaiting_rewind = False
             for msg in qp.send_queue:
@@ -155,7 +165,7 @@ class MpRdmaTransport(RnicTransport):
                     if msg.flow.tx_complete_ns is None and all(
                             m.acked for m in qp.messages.values()
                             if m.flow is msg.flow):
-                        msg.flow.tx_complete_ns = self.now
+                        msg.flow.tx_complete_ns = self.sim.now
             if st.snd_una >= qp.next_psn:
                 st.timer.cancel()
             else:
@@ -163,7 +173,9 @@ class MpRdmaTransport(RnicTransport):
         self._activate(qp)
 
     def _on_nak(self, qp: QueuePair, packet: Packet) -> None:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         epsn = packet.ack_psn
         if epsn >= st.snd_nxt or st.awaiting_rewind:
             return
@@ -177,7 +189,9 @@ class MpRdmaTransport(RnicTransport):
 
     # ------------------------------------------------------------ receiver
     def _on_data(self, qp: QueuePair, packet: Packet) -> None:
-        st = self._recv_state(qp)
+        st = qp.rx_state
+        if st is None:
+            st = self._recv_state(qp)
         self.maybe_send_cnp(qp, packet)
         flow = self.flow_of(packet)
         if packet.psn < st.epsn or packet.psn in st.ooo:
@@ -193,11 +207,11 @@ class MpRdmaTransport(RnicTransport):
                 nak = make_ack(self.host_id, qp.peer_host_id, flow_id=-1,
                                qpn=qp.peer_qpn, src_qpn=qp.qpn,
                                kind=PacketKind.NAK, ack_psn=st.epsn,
-                               dcp=False, entropy=qp.entropy)
+                               dcp=False, entropy=qp.entropy, pool=self.pool)
                 self.nic.send_control(nak)
             return
         if flow is not None:
-            flow.deliver(packet.payload_bytes, self.now)
+            flow.deliver(packet.payload_bytes, self.sim.now)
         if packet.psn == st.epsn:
             st.epsn += 1
             while st.epsn in st.ooo:
@@ -211,6 +225,6 @@ class MpRdmaTransport(RnicTransport):
     def _send_ack(self, qp: QueuePair, st: _MpRecvState, ecn: bool) -> None:
         ack = make_ack(self.host_id, qp.peer_host_id, flow_id=-1,
                        qpn=qp.peer_qpn, src_qpn=qp.qpn, kind=PacketKind.ACK,
-                       ack_psn=st.epsn - 1, dcp=False, entropy=qp.entropy)
+                       ack_psn=st.epsn - 1, dcp=False, entropy=qp.entropy, pool=self.pool)
         ack.ecn_ce = ecn  # ECN echo drives the sender's adaptive window
         self.nic.send_control(ack)

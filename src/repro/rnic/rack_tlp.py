@@ -70,30 +70,34 @@ class RackTlpTransport(RnicTransport):
         self._rcv: dict[int, _RackRecvState] = {}
 
     def _send_state(self, qp: QueuePair) -> _RackSendState:
-        st = self._snd.get(qp.qpn)
+        st = qp.tx_state
         if st is None:
             st = _RackSendState()
             st.rack_timer = RestartableTimer(self.sim,
                                              lambda q=qp: self._rack_sweep(q))
             st.tlp_timer = RestartableTimer(self.sim, lambda q=qp: self._on_tlp(q))
             st.rto_timer = RestartableTimer(self.sim, lambda q=qp: self._on_rto(q))
-            self._snd[qp.qpn] = st
+            self._snd[qp.qpn] = qp.tx_state = st
         return st
 
     def _recv_state(self, qp: QueuePair) -> _RackRecvState:
-        st = self._rcv.get(qp.qpn)
+        st = qp.rx_state
         if st is None:
             st = _RackRecvState()
-            self._rcv[qp.qpn] = st
+            self._rcv[qp.qpn] = qp.rx_state = st
         return st
 
     # -------------------------------------------------------------- sender
     def _qp_has_work(self, qp: QueuePair) -> bool:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         return bool(st.rtx_queue) or st.snd_nxt < qp.next_psn
 
     def _qp_next_packet(self, qp: QueuePair) -> Optional[Packet]:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         while st.rtx_queue:
             psn = st.rtx_queue.popleft()
             st.rtx_queued.discard(psn)
@@ -122,10 +126,10 @@ class RackTlpTransport(RnicTransport):
             payload=payload, mtu_payload=self.config.mtu_payload,
             msg_len_pkts=msg.num_pkts, msg_len_bytes=msg.size_bytes,
             msg_offset_pkts=psn - msg.base_psn, dcp=False,
-            entropy=qp.entropy, is_retransmit=is_retx,
+            entropy=qp.entropy, is_retransmit=is_retx, pool=self.pool,
         )
-        packet.timestamp_ns = self.now
-        st.sent_ts[psn] = self.now  # per-packet timestamp memory (the cost)
+        packet.timestamp_ns = self.sim.now
+        st.sent_ts[psn] = self.sim.now  # per-packet timestamp memory (the cost)
         if is_retx:
             self.count_retransmit(msg.flow)
         else:
@@ -158,14 +162,16 @@ class RackTlpTransport(RnicTransport):
         ts = st.sent_ts.get(psn)
         if ts is None:
             return
-        rtt = self.now - ts
+        rtt = self.sim.now - ts
         st.min_rtt = min(st.min_rtt, rtt)
         st.srtt = rtt if st.srtt == 0 else (7 * st.srtt + rtt) // 8
         st.rack_ts = max(st.rack_ts, ts)
 
     def _rack_sweep(self, qp: QueuePair) -> None:
         """Mark packets lost: sent one reo_wnd before rack_ts, unacked."""
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         reo = self._reo_wnd(st)
         next_check: Optional[int] = None
         for psn in range(st.snd_una, st.max_sent + 1):
@@ -189,7 +195,9 @@ class RackTlpTransport(RnicTransport):
 
     def _on_tlp(self, qp: QueuePair) -> None:
         """Tail-loss probe: resend the highest outstanding packet."""
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         if st.snd_una >= qp.next_psn:
             return
         probe = min(st.max_sent, qp.next_psn - 1)
@@ -204,12 +212,14 @@ class RackTlpTransport(RnicTransport):
         st.tlp_timer.restart(self._pto(st))
 
     def _on_rto(self, qp: QueuePair) -> None:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         if st.snd_una >= qp.next_psn:
             return
         flow = qp.psn_to_message(st.snd_una).flow
         self.count_timeout(flow)
-        qp.cc.on_timeout(self.now)
+        qp.cc.on_timeout(self.sim.now)
         for psn in range(st.snd_una, st.max_sent + 1):
             if psn not in st.sacked and psn not in st.rtx_queued:
                 st.rtx_queue.append(psn)
@@ -225,26 +235,33 @@ class RackTlpTransport(RnicTransport):
             self._on_delivery(qp, st, psn)
             st.sent_ts.pop(psn, None)
             st.sacked.discard(psn)
-        qp.cc.on_ack((new_una - st.snd_una) * self.config.mtu_payload, self.now)
+        cc = qp.cc
+        if cc.wants_ack:
+            cc.on_ack((new_una - st.snd_una) * self.config.mtu_payload,
+                      self.sim.now)
         st.snd_una = new_una
         for msg in qp.send_queue:
             if not msg.acked and st.snd_una >= msg.base_psn + msg.num_pkts:
                 msg.acked = True
                 if msg.flow.tx_complete_ns is None and all(
                         m.acked for m in qp.messages.values() if m.flow is msg.flow):
-                    msg.flow.tx_complete_ns = self.now
+                    msg.flow.tx_complete_ns = self.sim.now
         if st.snd_una < qp.next_psn:
             st.rto_timer.restart(self.config.rto_ns)
         self._arm_timers(qp, st)
         self._activate(qp)
 
     def _on_ack(self, qp: QueuePair, packet: Packet) -> None:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         self._advance(qp, st, packet.ack_psn)
         self._rack_sweep(qp)
 
     def _on_sack(self, qp: QueuePair, packet: Packet) -> None:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         if packet.sack_psn >= st.snd_una:
             st.sacked.add(packet.sack_psn)
             self._on_delivery(qp, st, packet.sack_psn)
@@ -253,7 +270,9 @@ class RackTlpTransport(RnicTransport):
 
     # ------------------------------------------------------------ receiver
     def _on_data(self, qp: QueuePair, packet: Packet) -> None:
-        st = self._recv_state(qp)
+        st = qp.rx_state
+        if st is None:
+            st = self._recv_state(qp)
         self.maybe_send_cnp(qp, packet)
         flow = self.flow_of(packet)
         if packet.psn < st.epsn or packet.psn in st.ooo:
@@ -262,7 +281,7 @@ class RackTlpTransport(RnicTransport):
             self._send_ack(qp, PacketKind.ACK, st.epsn - 1)
             return
         if flow is not None:
-            flow.deliver(packet.payload_bytes, self.now)
+            flow.deliver(packet.payload_bytes, self.sim.now)
         if packet.psn == st.epsn:
             st.epsn += 1
             while st.epsn in st.ooo:
@@ -278,5 +297,5 @@ class RackTlpTransport(RnicTransport):
         ack = make_ack(self.host_id, qp.peer_host_id, flow_id=-1,
                        qpn=qp.peer_qpn, src_qpn=qp.qpn, kind=kind,
                        ack_psn=ack_psn, sack_psn=sack_psn, dcp=False,
-                       entropy=qp.entropy)
+                       entropy=qp.entropy, pool=self.pool)
         self.nic.send_control(ack)

@@ -49,27 +49,31 @@ class TimeoutTransport(RnicTransport):
         self._rcv: dict[int, _ToRecvState] = {}
 
     def _send_state(self, qp: QueuePair) -> _ToSendState:
-        st = self._snd.get(qp.qpn)
+        st = qp.tx_state
         if st is None:
             st = _ToSendState()
             st.timer = RestartableTimer(self.sim, lambda q=qp: self._on_rto(q))
-            self._snd[qp.qpn] = st
+            self._snd[qp.qpn] = qp.tx_state = st
         return st
 
     def _recv_state(self, qp: QueuePair) -> _ToRecvState:
-        st = self._rcv.get(qp.qpn)
+        st = qp.rx_state
         if st is None:
             st = _ToRecvState()
-            self._rcv[qp.qpn] = st
+            self._rcv[qp.qpn] = qp.rx_state = st
         return st
 
     # -------------------------------------------------------------- sender
     def _qp_has_work(self, qp: QueuePair) -> bool:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         return bool(st.rtx_queue) or st.snd_nxt < qp.next_psn
 
     def _qp_next_packet(self, qp: QueuePair) -> Optional[Packet]:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         while st.rtx_queue:
             psn = st.rtx_queue.popleft()
             if psn < st.snd_una:
@@ -97,7 +101,7 @@ class TimeoutTransport(RnicTransport):
             payload=payload, mtu_payload=self.config.mtu_payload,
             msg_len_pkts=msg.num_pkts, msg_len_bytes=msg.size_bytes,
             msg_offset_pkts=psn - msg.base_psn, dcp=False,
-            entropy=qp.entropy, is_retransmit=is_retx,
+            entropy=qp.entropy, is_retransmit=is_retx, pool=self.pool,
         )
         if is_retx:
             self.count_retransmit(msg.flow)
@@ -108,30 +112,37 @@ class TimeoutTransport(RnicTransport):
         return packet
 
     def _on_rto(self, qp: QueuePair) -> None:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         if st.snd_una >= qp.next_psn:
             return
         flow = qp.psn_to_message(st.snd_una).flow
         self.count_timeout(flow)
-        qp.cc.on_timeout(self.now)
+        qp.cc.on_timeout(self.sim.now)
         st.rtx_queue.clear()
         st.rtx_queue.extend(range(st.snd_una, st.max_sent + 1))
         st.timer.restart(self.config.rto_ns)
         self._activate(qp)
 
     def _on_ack(self, qp: QueuePair, packet: Packet) -> None:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         new_una = packet.ack_psn + 1
         if new_una <= st.snd_una:
             return
-        qp.cc.on_ack((new_una - st.snd_una) * self.config.mtu_payload, self.now)
+        cc = qp.cc
+        if cc.wants_ack:
+            cc.on_ack((new_una - st.snd_una) * self.config.mtu_payload,
+                      self.sim.now)
         st.snd_una = new_una
         for msg in qp.send_queue:
             if not msg.acked and st.snd_una >= msg.base_psn + msg.num_pkts:
                 msg.acked = True
                 if msg.flow.tx_complete_ns is None and all(
                         m.acked for m in qp.messages.values() if m.flow is msg.flow):
-                    msg.flow.tx_complete_ns = self.now
+                    msg.flow.tx_complete_ns = self.sim.now
         if st.snd_una >= qp.next_psn:
             st.timer.cancel()
         else:
@@ -140,7 +151,9 @@ class TimeoutTransport(RnicTransport):
 
     # ------------------------------------------------------------ receiver
     def _on_data(self, qp: QueuePair, packet: Packet) -> None:
-        st = self._recv_state(qp)
+        st = qp.rx_state
+        if st is None:
+            st = self._recv_state(qp)
         self.maybe_send_cnp(qp, packet)
         flow = self.flow_of(packet)
         if packet.psn < st.epsn or packet.psn in st.ooo:
@@ -148,7 +161,7 @@ class TimeoutTransport(RnicTransport):
                 flow.stats.dup_pkts_received += 1
         else:
             if flow is not None:
-                flow.deliver(packet.payload_bytes, self.now)
+                flow.deliver(packet.payload_bytes, self.sim.now)
             if packet.psn == st.epsn:
                 st.epsn += 1
                 while st.epsn in st.ooo:
@@ -158,5 +171,5 @@ class TimeoutTransport(RnicTransport):
                 st.ooo.add(packet.psn)
         ack = make_ack(self.host_id, qp.peer_host_id, flow_id=-1,
                        qpn=qp.peer_qpn, src_qpn=qp.qpn, kind=PacketKind.ACK,
-                       ack_psn=st.epsn - 1, dcp=False, entropy=qp.entropy)
+                       ack_psn=st.epsn - 1, dcp=False, entropy=qp.entropy, pool=self.pool)
         self.nic.send_control(ack)

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.net.packet import Packet, PacketKind, make_ack, make_data_packet
+from repro.net.packet import (Packet, PacketKind, make_ack,
+                              make_data_packet, release)
 from repro.rnic.base import (QueuePair, RestartableTimer, RnicTransport,
-                             TransportConfig)
+                             TransportConfig, _GATED, _NO_WORK)
 from repro.sim.engine import Simulator
 
 #: per-packet CPU cost of the software stack (send or receive), ns.
@@ -62,31 +63,56 @@ class TcpTransport(RnicTransport):
         super().__init__(sim, host_id, config)
         self.host_overhead_ns = host_overhead_ns
         self.stack_latency_ns = stack_latency_ns
+        #: Receive-path delay every inbound packet pays (precomputed).
+        self._rx_delay_ns = stack_latency_ns + host_overhead_ns
         self._snd: dict[int, _TcpSendState] = {}
         self._rcv: dict[int, _TcpRecvState] = {}
 
     def _send_state(self, qp: QueuePair) -> _TcpSendState:
-        st = self._snd.get(qp.qpn)
+        st = qp.tx_state
         if st is None:
             st = _TcpSendState()
             st.timer = RestartableTimer(self.sim, lambda q=qp: self._on_rto(q))
-            self._snd[qp.qpn] = st
+            self._snd[qp.qpn] = qp.tx_state = st
         return st
 
     def _recv_state(self, qp: QueuePair) -> _TcpRecvState:
-        st = self._rcv.get(qp.qpn)
+        st = qp.rx_state
         if st is None:
             st = _TcpRecvState()
-            self._rcv[qp.qpn] = st
+            self._rcv[qp.qpn] = qp.rx_state = st
         return st
 
     # -------------------------------------------------------------- sender
+    def _qp_poll(self, qp: QueuePair, now: int):
+        """One-call scheduler probe (see base class)."""
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
+        snd_nxt = st.snd_nxt
+        if snd_nxt >= qp.next_psn:
+            return _NO_WORK
+        if qp.next_send_ns > now:
+            return _GATED
+        if snd_nxt - st.snd_una >= max(1, int(st.cwnd)):
+            return None
+        packet = self._build(qp, st, snd_nxt, is_retx=snd_nxt <= st.max_sent)
+        st.max_sent = max(st.max_sent, snd_nxt)
+        st.snd_nxt = snd_nxt + 1
+        # CPU cost of the send path: pace the next segment.
+        qp.next_send_ns = max(qp.next_send_ns, now + self.host_overhead_ns)
+        return packet
+
     def _qp_has_work(self, qp: QueuePair) -> bool:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         return st.snd_nxt < qp.next_psn
 
     def _qp_next_packet(self, qp: QueuePair) -> Optional[Packet]:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         if st.snd_nxt >= qp.next_psn:
             return None
         if st.snd_nxt - st.snd_una >= max(1, int(st.cwnd)):
@@ -97,21 +123,23 @@ class TcpTransport(RnicTransport):
         st.snd_nxt += 1
         # CPU cost of the send path: pace the next segment.
         qp.next_send_ns = max(qp.next_send_ns,
-                              self.now + self.host_overhead_ns)
+                              self.sim.now + self.host_overhead_ns)
         return packet
 
     def _build(self, qp: QueuePair, st: _TcpSendState, psn: int,
                is_retx: bool) -> Packet:
         msg = qp.psn_to_message(psn)
-        payload = msg.payload_of(psn - msg.base_psn, self.config.mtu_payload)
+        mtu = self.config.mtu_payload
+        off = psn - msg.base_psn
+        if off < msg.num_pkts - 1:
+            payload = mtu
+        else:
+            payload = msg.size_bytes - (msg.num_pkts - 1) * mtu
         packet = make_data_packet(
-            self.host_id, qp.peer_host_id, flow_id=msg.flow.flow_id,
-            qpn=qp.peer_qpn, src_qpn=qp.qpn, psn=psn, msn=msg.msn,
-            payload=payload, mtu_payload=self.config.mtu_payload,
-            msg_len_pkts=msg.num_pkts, msg_len_bytes=msg.size_bytes,
-            msg_offset_pkts=psn - msg.base_psn, dcp=False,
-            entropy=qp.entropy, is_retransmit=is_retx,
-        )
+            self.host_id, qp.peer_host_id, msg.flow.flow_id, qp.peer_qpn,
+            qp.qpn, psn, msg.msn, payload, mtu, msg.num_pkts,
+            msg.size_bytes, off, False, -1, 0, qp.entropy, is_retx, 0,
+            self.pool)
         packet.kind = PacketKind.TCP_DATA
         if is_retx:
             self.count_retransmit(msg.flow)
@@ -122,7 +150,9 @@ class TcpTransport(RnicTransport):
         return packet
 
     def _on_rto(self, qp: QueuePair) -> None:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         if st.snd_una >= qp.next_psn:
             return
         self.count_timeout(qp.psn_to_message(st.snd_una).flow)
@@ -134,7 +164,9 @@ class TcpTransport(RnicTransport):
         self._activate(qp)
 
     def _on_tcp_ack(self, qp: QueuePair, packet: Packet) -> None:
-        st = self._send_state(qp)
+        st = qp.tx_state
+        if st is None:
+            st = self._send_state(qp)
         ack = packet.ack_psn + 1
         if ack > st.snd_una:
             newly = ack - st.snd_una
@@ -144,14 +176,16 @@ class TcpTransport(RnicTransport):
                 st.cwnd += newly                       # slow start
             else:
                 st.cwnd += newly / max(1.0, st.cwnd)   # congestion avoidance
-            qp.cc.on_ack(newly * self.config.mtu_payload, self.now)
+            cc = qp.cc
+            if cc.wants_ack:
+                cc.on_ack(newly * self.config.mtu_payload, self.sim.now)
             for msg in qp.send_queue:
                 if not msg.acked and st.snd_una >= msg.base_psn + msg.num_pkts:
                     msg.acked = True
                     if msg.flow.tx_complete_ns is None and all(
                             m.acked for m in qp.messages.values()
                             if m.flow is msg.flow):
-                        msg.flow.tx_complete_ns = self.now
+                        msg.flow.tx_complete_ns = self.sim.now
             if st.snd_una >= qp.next_psn:
                 st.timer.cancel()
             else:
@@ -166,17 +200,20 @@ class TcpTransport(RnicTransport):
                 st.snd_nxt = st.snd_una
                 self.count_retransmit(qp.psn_to_message(st.snd_una).flow)
         self._activate(qp)
+        release(self.sim, packet)
 
     # ------------------------------------------------------------ receiver
     def _on_tcp_data(self, qp: QueuePair, packet: Packet) -> None:
-        st = self._recv_state(qp)
+        st = qp.rx_state
+        if st is None:
+            st = self._recv_state(qp)
         flow = self.flow_of(packet)
         if packet.psn < st.epsn or packet.psn in st.ooo:
             if flow is not None:
                 flow.stats.dup_pkts_received += 1
         else:
             if flow is not None:
-                flow.deliver(packet.payload_bytes, self.now)
+                flow.deliver(packet.payload_bytes, self.sim.now)
             if packet.psn == st.epsn:
                 st.epsn += 1
                 while st.epsn in st.ooo:
@@ -184,25 +221,42 @@ class TcpTransport(RnicTransport):
                     st.epsn += 1
             else:
                 st.ooo.add(packet.psn)
-        ack = make_ack(self.host_id, qp.peer_host_id, flow_id=-1,
-                       qpn=qp.peer_qpn, src_qpn=qp.qpn, kind=PacketKind.TCP_ACK,
-                       ack_psn=st.epsn - 1, dcp=False, entropy=qp.entropy)
+        ack = make_ack(self.host_id, qp.peer_host_id, -1, qp.peer_qpn,
+                       qp.qpn, PacketKind.TCP_ACK, st.epsn - 1, -1, -1,
+                       False, qp.entropy, 0, self.pool)
         self.nic.send_control(ack)
+        release(self.sim, packet)
 
     # ----------------------------------------------------------- dispatch
-    def on_packet(self, packet: Packet) -> None:
-        """Every packet pays the receive-path stack costs first."""
+    def receive(self, packet: Packet, in_port: int = 0) -> None:
+        """Every packet pays the receive-path stack costs first.
+
+        The deferred callback is the kind-specific handler itself (no
+        dispatch trampoline); handlers release the packet when done.
+        """
+        kind = packet.kind
+        if kind is PacketKind.PAUSE:
+            self.nic.pause()
+            release(self.sim, packet)
+            return
+        if kind is PacketKind.RESUME:
+            self.nic.resume()
+            release(self.sim, packet)
+            return
         qp = self.qps.get(packet.qpn)
         if qp is None:
+            release(self.sim, packet)
             return
-        self.sim.schedule(self.stack_latency_ns + self.host_overhead_ns,
-                          lambda p=packet, q=qp: self._dispatch(q, p))
+        if kind is PacketKind.TCP_DATA:
+            fn = self._on_tcp_data
+        elif kind is PacketKind.TCP_ACK:
+            fn = self._on_tcp_ack
+        else:
+            fn = self._drop
+        self.sim.call_after(self._rx_delay_ns, fn, qp, packet)
 
-    def _dispatch(self, qp: QueuePair, packet: Packet) -> None:
-        if packet.kind is PacketKind.TCP_DATA:
-            self._on_tcp_data(qp, packet)
-        elif packet.kind is PacketKind.TCP_ACK:
-            self._on_tcp_ack(qp, packet)
+    def _drop(self, qp: QueuePair, packet: Packet) -> None:
+        release(self.sim, packet)
 
     # unused RNIC handlers
     def _on_data(self, qp, packet):  # pragma: no cover

@@ -143,3 +143,46 @@ def test_events_processed_counter():
         sim.schedule(i, lambda: None)
     sim.run()
     assert sim.events_processed == 4
+
+
+def test_mid_run_heap_compaction_keeps_event_stream_intact():
+    """Regression: compacting the heap mid-run must not split the stream.
+
+    ``run()`` holds a reference to the heap list across callbacks, so
+    ``_compact_heap`` has to mutate it in place.  A version that rebound
+    ``self._heap`` made the running loop drain a stale list while new
+    events went to the fresh one: events fired out of order (simulated
+    time went backwards) or not at all.  Force a compaction from inside
+    a callback and check the survivors still fire, in order.
+    """
+    sim = Simulator()
+    fired = []
+    # Far enough out to land in the heap, not the timer wheel.
+    tokens = [sim.schedule(30_000_000 + i * 1_000,
+                           lambda i=i: fired.append((sim.now, i)))
+              for i in range(100)]
+
+    def sabotage():
+        for token in tokens[40:]:
+            token.cancel()
+        # >50% of heap entries now dead; this schedule triggers the
+        # in-run compaction the old code corrupted.
+        sim.schedule(100_000_000, on_late)
+
+    def on_late():
+        fired.append((sim.now, "late"))
+        # Scheduled *after* the compaction: with the rebinding bug this
+        # lands in a list the running loop no longer drains and is
+        # silently lost (far-future on purpose — it must hit the heap,
+        # not the timer wheel).
+        sim.schedule(50_000_000, lambda: fired.append((sim.now, "final")))
+
+    sim.schedule(1_000, sabotage)
+    sim.run()
+
+    times = [t for t, _ in fired]
+    assert times == sorted(times), "simulated time went backwards"
+    assert [i for _, i in fired[:40]] == list(range(40))
+    assert fired[-2] == (100_001_000, "late")
+    assert fired[-1] == (150_001_000, "final"), "post-compaction event lost"
+    assert sim.events_processed == 1 + 40 + 1 + 1

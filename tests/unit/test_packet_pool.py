@@ -1,0 +1,175 @@
+"""Packet-pool tests: scrub-on-realloc, pool-on/off identity, poisoning.
+
+The pool's contract is invisibility: a recycled packet must be
+indistinguishable from a freshly constructed one, field for field, and
+an entire simulation must produce bit-identical results whether
+recycling is enabled, disabled, or running in debug (poison) mode.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.packet import (Packet, PacketKind, PacketPool, _POISON,
+                              make_ack, make_data_packet)
+from repro.sim.engine import Simulator
+
+
+def _pooled_sim(enabled=True, debug=False):
+    sim = Simulator()
+    sim.packet_pool = PacketPool(sim, enabled=enabled, debug=debug)
+    return sim, sim.packet_pool
+
+
+def _slot_values(packet):
+    return {name: getattr(packet, name) for name in Packet.__slots__}
+
+
+_data_args = st.fixed_dictionaries({
+    "flow_id": st.integers(-1, 1 << 20),
+    "qpn": st.integers(-1, 1 << 20),
+    "src_qpn": st.integers(-1, 1 << 20),
+    "psn": st.integers(-1, 1 << 24),
+    "msn": st.integers(-1, 1 << 24),
+    "payload": st.integers(1, 4096),
+    "msg_len_pkts": st.integers(0, 1 << 16),
+    "msg_len_bytes": st.integers(0, 1 << 30),
+    "msg_offset_pkts": st.integers(0, 1 << 16),
+    "dcp": st.booleans(),
+    "ssn": st.integers(-1, 1 << 20),
+    "sretry_no": st.integers(0, 7),
+    "entropy": st.integers(0, 1 << 16),
+    "is_retransmit": st.booleans(),
+    "priority": st.integers(0, 7),
+})
+
+
+@given(first=_data_args, second=_data_args)
+@settings(max_examples=100, deadline=None)
+def test_no_field_leaks_from_recycled_packet(first, second):
+    """A recycled packet matches a fresh one on every slot.
+
+    Build a packet with one set of field values, release it, then
+    reallocate with a different set: nothing from the first life may
+    survive into the second.  The reference is a pool-disabled sim fed
+    the identical call sequence, so uids must line up too.
+    """
+    pooled_sim, pooled = _pooled_sim(enabled=True)
+    fresh_sim, _ = _pooled_sim(enabled=False)
+
+    p1 = make_data_packet(1, 2, mtu_payload=first["payload"],
+                          pool=pooled, **first)
+    p1.hops = 3                       # in-flight mutation of a non-ctor slot
+    p1.timestamp_ns = 12345
+    pooled.release(p1)
+    p2 = make_data_packet(3, 4, mtu_payload=second["payload"],
+                          pool=pooled, **second)
+    assert p2 is p1                   # the free list actually recycled it
+
+    make_data_packet(1, 2, mtu_payload=first["payload"],
+                     pool=fresh_sim.packet_pool, **first)
+    ref = make_data_packet(3, 4, mtu_payload=second["payload"],
+                           pool=fresh_sim.packet_pool, **second)
+    assert _slot_values(p2) == _slot_values(ref)
+
+
+@given(args=_data_args)
+@settings(max_examples=50, deadline=None)
+def test_recycled_ack_matches_fresh_ack(args):
+    pooled_sim, pooled = _pooled_sim(enabled=True)
+    fresh_sim, _ = _pooled_sim(enabled=False)
+
+    stale = make_data_packet(7, 8, mtu_payload=args["payload"],
+                             pool=pooled, **args)
+    pooled.release(stale)
+    got = make_ack(1, 2, flow_id=5, qpn=9, src_qpn=10, kind=PacketKind.NAK,
+                   ack_psn=77, emsn=3, sack_psn=80, dcp=True, entropy=6,
+                   pool=pooled)
+    assert got is stale
+
+    make_data_packet(7, 8, mtu_payload=args["payload"],
+                     pool=fresh_sim.packet_pool, **args)
+    ref = make_ack(1, 2, flow_id=5, qpn=9, src_qpn=10, kind=PacketKind.NAK,
+                   ack_psn=77, emsn=3, sack_psn=80, dcp=True, entropy=6,
+                   pool=fresh_sim.packet_pool)
+    assert _slot_values(got) == _slot_values(ref)
+
+
+def test_uids_identical_with_and_without_recycling():
+    """uids come from sim.packet_seq, not from pool hits/misses."""
+    uids = []
+    for enabled in (True, False):
+        sim, pool = _pooled_sim(enabled=enabled)
+        run = []
+        for i in range(5):
+            p = make_data_packet(1, 2, psn=i, payload=100, mtu_payload=100,
+                                 msg_len_pkts=5, msg_len_bytes=500,
+                                 pool=pool)
+            run.append(p.uid)
+            pool.release(p)
+        uids.append(run)
+    assert uids[0] == uids[1] == [1, 2, 3, 4, 5]
+
+
+def _run_fig8_point(monkeypatch, pool_env, debug_env):
+    from repro.experiments.common import Network, NetworkSpec
+
+    monkeypatch.setenv("REPRO_PACKET_POOL", pool_env)
+    monkeypatch.setenv("REPRO_PACKET_POOL_DEBUG", debug_env)
+    spec = NetworkSpec(transport="gbn", topology="direct", num_hosts=2,
+                       link_rate=100.0, host_link_delay_ns=500,
+                       window_bytes=262_144)
+    net = Network(spec)
+    flow = net.open_flow(0, 1, 200_000, 0)
+    net.run_until_flows_done(max_events=50_000_000)
+    assert flow.completed
+    return (net.sim.events_processed, net.sim.now, net.sim.packet_seq,
+            flow.stats.data_pkts_sent, flow.stats.retx_pkts_sent,
+            flow.rx_bytes, flow.rx_complete_ns)
+
+
+@pytest.mark.parametrize("pool_env,debug_env",
+                         [("0", ""), ("1", ""), ("1", "1")])
+def test_pool_modes_are_bit_identical(monkeypatch, pool_env, debug_env):
+    """Off, on, and poison-debug modes simulate the exact same run."""
+    baseline = _run_fig8_point(monkeypatch, "0", "")
+    assert _run_fig8_point(monkeypatch, pool_env, debug_env) == baseline
+
+
+def test_debug_mode_detects_use_after_release():
+    sim, pool = _pooled_sim(enabled=True, debug=True)
+    p = make_data_packet(1, 2, psn=0, payload=64, mtu_payload=64,
+                         msg_len_pkts=1, msg_len_bytes=64, pool=pool)
+    pool.release(p)
+    p.psn = 42                        # illegal write while on the free list
+    with pytest.raises(RuntimeError, match="use-after-release"):
+        make_data_packet(1, 2, psn=1, payload=64, mtu_payload=64,
+                         msg_len_pkts=1, msg_len_bytes=64, pool=pool)
+
+
+def test_debug_mode_detects_double_release():
+    sim, pool = _pooled_sim(enabled=True, debug=True)
+    p = make_data_packet(1, 2, psn=0, payload=64, mtu_payload=64,
+                         msg_len_pkts=1, msg_len_bytes=64, pool=pool)
+    pool.release(p)
+    with pytest.raises(RuntimeError, match="double release"):
+        pool.release(p)
+
+
+def test_release_poisons_identity_fields():
+    sim, pool = _pooled_sim(enabled=True, debug=True)
+    p = make_data_packet(1, 2, psn=9, payload=64, mtu_payload=64,
+                         msg_len_pkts=1, msg_len_bytes=64, pool=pool)
+    pool.release(p)
+    assert p.psn == _POISON and p.src == _POISON and p.flow_id == _POISON
+
+
+def test_pool_counters_track_reuse():
+    sim, pool = _pooled_sim(enabled=True)
+    a = make_data_packet(1, 2, payload=64, mtu_payload=64,
+                         msg_len_pkts=1, msg_len_bytes=64, pool=pool)
+    pool.release(a)
+    b = make_data_packet(1, 2, payload=64, mtu_payload=64,
+                         msg_len_pkts=1, msg_len_bytes=64, pool=pool)
+    assert b is a
+    assert (pool.allocated, pool.reused, pool.released) == (1, 1, 1)
