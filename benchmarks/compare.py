@@ -30,20 +30,29 @@ METRICS = {
 }
 
 
+class CompareError(Exception):
+    """A record is unusable (missing key, bad value) — not a regression."""
+
+
 def compare(baseline: dict, current: dict,
             max_regression: float) -> list[str]:
-    """Return a list of human-readable failures (empty when clean)."""
+    """Return a list of human-readable failures (empty when clean).
+
+    Raises :class:`CompareError` when either record is missing a metric
+    or carries a non-positive value: that is a broken input, not a
+    performance verdict, and callers must not conflate the two.
+    """
     failures = []
     for name, higher_is_better in METRICS.items():
-        if name not in baseline or name not in current:
-            failures.append(f"{name}: missing from "
-                            f"{'baseline' if name not in baseline else 'current'}")
-            continue
+        for label, record in (("baseline", baseline), ("current", current)):
+            if name not in record:
+                raise CompareError(
+                    f"{label} record lacks metric {name!r} — regenerate it "
+                    f"with benchmarks/bench_hotpath.py")
         base, cur = float(baseline[name]), float(current[name])
         if base <= 0 or cur <= 0:
-            failures.append(f"{name}: non-positive value "
-                            f"(baseline={base}, current={cur})")
-            continue
+            raise CompareError(f"{name}: non-positive value "
+                               f"(baseline={base}, current={cur})")
         # Normalise so ratio > 1 always means "current is slower".
         ratio = base / cur if higher_is_better else cur / base
         verdict = "REGRESSION" if ratio > max_regression else "ok"
@@ -68,12 +77,31 @@ def main(argv: list[str] | None = None) -> int:
     if args.max_regression <= 1.0:
         parser.error("--max-regression must be > 1.0")
 
-    with open(args.baseline) as fh:
-        baseline = json.load(fh)
-    with open(args.current) as fh:
-        current = json.load(fh)
+    records = {}
+    for label, path in (("baseline", args.baseline), ("current", args.current)):
+        try:
+            with open(path) as fh:
+                records[label] = json.load(fh)
+        except FileNotFoundError:
+            print(f"error: {label} file not found: {path}\n"
+                  f"  (generate it with: python benchmarks/bench_hotpath.py "
+                  f"--out {path})", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {label} file {path} is not valid JSON: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not isinstance(records[label], dict):
+            print(f"error: {label} file {path} is not a benchmark record "
+                  f"(expected a JSON object)", file=sys.stderr)
+            return 2
 
-    failures = compare(baseline, current, args.max_regression)
+    try:
+        failures = compare(records["baseline"], records["current"],
+                           args.max_regression)
+    except CompareError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if failures:
         print("\nperformance regression detected:", file=sys.stderr)
         for failure in failures:

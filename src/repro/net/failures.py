@@ -55,6 +55,12 @@ class FailureInjector:
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
+        # Failure injection must observe the dataplane mid-flight:
+        # precomputed burst schedules would let packets depart (or
+        # arrive) across a link that goes down between the precompute
+        # and the slot time.  Chaos runs therefore stay on the serial
+        # slow path by design.
+        sim.burst_enabled = False
         self.events: list[FailureEvent] = []
         #: id(link) -> number of active failures holding the link down.
         self._down_counts: dict[int, int] = {}

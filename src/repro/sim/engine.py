@@ -31,6 +31,7 @@ live in :mod:`repro.sim.units`.
 from __future__ import annotations
 
 import heapq
+import os
 from bisect import insort
 from typing import Callable, Optional
 
@@ -104,6 +105,12 @@ class Simulator:
         #: Slot for a per-simulation packet free-list pool; installed by
         #: the net layer (the engine itself is packet-agnostic).
         self.packet_pool = None
+        #: Burst-mode dataplane gate (``REPRO_BURST=0`` reverts every
+        #: layer to one-event-per-call scheduling).  The chaos subsystem
+        #: clears it at injector construction: failure injection must
+        #: observe the dataplane mid-flight, so chaos runs stay on the
+        #: slow path by design.
+        self.burst_enabled: bool = os.environ.get("REPRO_BURST", "1") != "0"
 
     # ------------------------------------------------------------ schedule
     def schedule(self, delay: int, callback: Callable[[], None]) -> CancelledToken:
@@ -163,6 +170,53 @@ class Simulator:
             self._wheel_count += 1
         else:
             heapq.heappush(self._heap, (when, seq, None, fn, args))
+
+    def call_after_bulk(self, items: list[tuple],
+                        token: Optional[CancelledToken] = None) -> None:
+        """Schedule many ``(delay, fn, args)`` entries in one call.
+
+        Equivalent to issuing ``call_after(delay, fn, *args)`` once per
+        item, in list order: sequence numbers are assigned
+        consecutively, so FIFO tie-breaking matches the individual
+        calls exactly.  ``token``, when given, is shared by every
+        entry — cancelling it invalidates the whole batch (the entries
+        are skipped when due without counting as processed events,
+        which is what lets burst callers replace a cancelled batch
+        with a single slow-path event and keep ``events_processed``
+        bit-identical).
+        """
+        now = self.now
+        seq = self._seqn
+        base0 = self._base0
+        base1 = base0 >> 8
+        l0 = self._l0
+        l1 = self._l1
+        active = self._active
+        aidx = self._active_idx
+        heap = self._heap
+        added = 0
+        for delay, fn, args in items:
+            if delay < 0:
+                raise ValueError(f"cannot schedule in the past (delay={delay})")
+            when = now + delay
+            seq += 1
+            b0 = when >> _G0_BITS
+            off = b0 - base0
+            if off < _L0_SLOTS:
+                if off <= 0:
+                    insort(active, (when, seq, token, fn, args), lo=aidx)
+                else:
+                    l0[b0 & _L0_MASK].append((when, seq, token, fn, args))
+                added += 1
+            elif (b0 >> 8) - base1 < _L1_SLOTS:
+                l1[(b0 >> 8) & _L1_MASK].append((when, seq, token, fn, args))
+                added += 1
+            else:
+                if token is not None:
+                    token._sim = self
+                heapq.heappush(heap, (when, seq, token, fn, args))
+        self._seqn = seq
+        self._wheel_count += added
 
     def schedule_at(self, when: int, callback: Callable[[], None]) -> CancelledToken:
         """Schedule ``callback`` at absolute time ``when`` (ns)."""
@@ -339,14 +393,51 @@ class Simulator:
                 # bucket via peek_time — detected by identity check.
                 bucket_end = (self._base0 + 1) << _G0_BITS
                 if bucket_end > horizon or (heap and heap[0][0] < bucket_end):
+                    # The bucket is not wholly ours, but a *prefix* of
+                    # it still is: every wheel entry strictly ordered
+                    # before the heap head (and the horizon) can run
+                    # without re-entering the merge.  The gate snapshot
+                    # stays valid across callbacks: new heap entries
+                    # land beyond the wheel span (> bucket end) and a
+                    # cancelled-then-popped head only makes the gate
+                    # conservative.
+                    if heap:
+                        gate = heap[0]
+                        g0 = gate[0]
+                        g1 = gate[1]
+                    else:
+                        g0 = horizon
+                        g1 = 0x7FFFFFFFFFFFFFFF
                     active = self._active
                     idx = self._active_idx
-                    self._active_idx = idx + 1
-                    self._wheel_count -= 1
-                    self.now = when
-                    self.events_processed += 1
-                    processed += 1
-                    entry[3](*entry[4])
+                    while True:
+                        self._active_idx = idx + 1
+                        self._wheel_count -= 1
+                        self.now = entry[0]
+                        self.events_processed += 1
+                        processed += 1
+                        entry[3](*entry[4])
+                        if processed >= limit or self._active is not active:
+                            break
+                        idx = self._active_idx
+                        n = len(active)
+                        nxt = None
+                        while idx < n:
+                            cand = active[idx]
+                            tok = cand[2]
+                            if tok is not None and tok.cancelled:
+                                idx += 1
+                                self._active_idx = idx
+                                self._wheel_count -= 1
+                                continue
+                            nxt = cand
+                            break
+                        if nxt is None:
+                            break
+                        w = nxt[0]
+                        if w > horizon or w > g0 or (w == g0 and nxt[1] > g1):
+                            break
+                        entry = nxt
                     continue
                 active = self._active
                 idx = self._active_idx

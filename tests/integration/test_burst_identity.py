@@ -1,0 +1,94 @@
+"""Bit-identity of the burst-mode dataplane (``REPRO_BURST``).
+
+Burst mode only changes *how many Python calls* produce the event
+stream — bulk slot scheduling, port burst drains, multi-packet
+transport pulls — never the stream itself.  These tests pin that
+contract across the gate matrix: burst on/off crossed with the packet
+pool's on/off/debug modes, over a clean direct point, a lossy Clos
+point (which exercises the NAK/RTO/fast-retransmit truncation paths),
+and a chaos scenario (where the injector forces the serial slow path).
+
+The one deliberately excluded observable is ``sim.packet_seq``: a
+truncated train rolls back pre-pulled packets whose uids the serial
+path never allocates, so the counter (payload-invisible by design —
+uids appear in no payload, metric, or trace) may run ahead under loss.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos.scenarios import get_scenario
+from repro.experiments import robustness
+from repro.experiments.common import NetworkSpec
+from repro.experiments.presets import get_preset
+from repro.runner.points import simulate_flows
+
+TRANSPORTS = ("gbn", "dcp", "tcp")
+
+#: (REPRO_BURST, REPRO_PACKET_POOL, REPRO_PACKET_POOL_DEBUG)
+GATE_MATRIX = (
+    ("1", "1", ""),     # burst on,  pool on (the default stack)
+    ("0", "1", ""),     # burst off: PR 4 serial behaviour
+    ("1", "0", ""),     # burst on,  pool off
+    ("0", "0", ""),     # both off
+    ("1", "1", "1"),    # burst on,  pool poison/debug mode
+)
+
+
+def _run(monkeypatch, burst, pool, debug, spec, params):
+    monkeypatch.setenv("REPRO_BURST", burst)
+    monkeypatch.setenv("REPRO_PACKET_POOL", pool)
+    monkeypatch.setenv("REPRO_PACKET_POOL_DEBUG", debug)
+    payload = simulate_flows(spec, params)
+    # Canonical form so a mismatch diffs cleanly in pytest output.
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def _direct_spec(transport):
+    return NetworkSpec(transport=transport, topology="direct", num_hosts=2,
+                       link_rate=100.0, host_link_delay_ns=500,
+                       window_bytes=262_144)
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_burst_pool_matrix_direct(monkeypatch, transport):
+    """Every (burst, pool) combination yields the same payload on the
+    clean direct point every figure sweep is built from."""
+    spec = _direct_spec(transport)
+    params = {"flows": [[0, 1, 1_000_000, 0]], "max_events": 50_000_000}
+    payloads = {gates: _run(monkeypatch, *gates, spec, params)
+                for gates in GATE_MATRIX}
+    reference = payloads[GATE_MATRIX[0]]
+    for gates, payload in payloads.items():
+        assert payload == reference, f"payload diverged under gates {gates}"
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_burst_identity_lossy_clos(monkeypatch, transport):
+    """Injected loss drives every truncation hook (NAK, RTO, fast
+    retransmit, pacing-gap rollback); the payload must not move."""
+    spec = NetworkSpec(transport=transport, topology="clos", num_hosts=4,
+                       link_rate=100.0, host_link_delay_ns=500,
+                       window_bytes=262_144, loss_rate=0.01)
+    params = {"flows": [[0, 2, 300_000, 0], [1, 3, 300_000, 0]],
+              "max_events": 50_000_000}
+    off = _run(monkeypatch, "0", "1", "", spec, params)
+    on = _run(monkeypatch, "1", "1", "", spec, params)
+    assert on == off
+
+
+def test_burst_identity_link_flap(monkeypatch):
+    """Chaos runs force the serial slow path (the injector clears
+    ``sim.burst_enabled``), so REPRO_BURST must be a strict no-op."""
+    quick = get_preset("quick")
+    spec = robustness._spec("dcp", quick)
+    flow_bytes = robustness._flow_bytes(quick)
+    params = {"flows": [[0, 2, flow_bytes, 0], [1, 3, flow_bytes, 10_000]],
+              "max_events": 60_000_000,
+              "chaos": get_scenario("link_flap")}
+    off = _run(monkeypatch, "0", "1", "", spec, params)
+    on = _run(monkeypatch, "1", "1", "", spec, params)
+    assert on == off

@@ -21,6 +21,17 @@ def _switch(num_ports=4):
     return Switch(sim, 0, cfg, EcmpLoadBalancer())
 
 
+def _load(port, packet):
+    """Park a packet in the data queue without starting the transmitter.
+
+    Goes through ``enqueue`` (with the class paused) so the port's
+    running ``buffered_bytes``/``buffered_packets`` totals stay in
+    sync — adaptive balancers read those, not the queues.
+    """
+    port.pause(0)
+    assert port.enqueue(packet, 0)
+
+
 def test_flow_hash_deterministic():
     assert flow_hash(_pkt(5)) == flow_hash(_pkt(5))
     assert flow_hash(_pkt(5)) != flow_hash(_pkt(6))
@@ -51,8 +62,8 @@ def test_ecmp_entropy_changes_path():
 def test_adaptive_picks_least_loaded():
     sw = _switch()
     lb = AdaptiveLoadBalancer()
-    sw.ports[0].queues[0].push(_pkt())
-    sw.ports[1].queues[0].push(_pkt())
+    _load(sw.ports[0], _pkt())
+    _load(sw.ports[1], _pkt())
     assert lb.pick(sw, _pkt(), [0, 1, 2]) == 2
 
 
@@ -115,8 +126,8 @@ class TestFlowlet:
         p = _pkt(flow_id=3)
         first = lb.pick(sw, p, [0, 1])
         # make the current path congested, then let the flowlet expire
-        sw.ports[first].queues[0].push(_pkt())
-        sw.ports[first].queues[0].push(_pkt())
+        _load(sw.ports[first], _pkt())
+        _load(sw.ports[first], _pkt())
         sw.sim.schedule(1_000, lambda: None)
         sw.sim.run()
         assert sw.sim.now >= 100
