@@ -2,6 +2,7 @@
 
 from repro.cc.base import CongestionControl, StaticWindowCc, UnlimitedCc
 from repro.cc.dcqcn import DcqcnCc, DcqcnParams
+from repro.cc.swift import SwiftCc, SwiftParams
 
 __all__ = [
     "CongestionControl",
@@ -9,4 +10,6 @@ __all__ = [
     "UnlimitedCc",
     "DcqcnCc",
     "DcqcnParams",
+    "SwiftCc",
+    "SwiftParams",
 ]

@@ -25,13 +25,15 @@ from repro.rnic.gbn import GbnTransport
 from repro.rnic.irn import IrnTransport
 from repro.sim.engine import Simulator
 from repro.sim.rng import SeedSequence
-from repro.sim.units import bdp_bytes
+from repro.sim.units import bdp_bytes, serialization_ns
 
 
 def _transport_registry() -> dict[str, type[RnicTransport]]:
     # Imported lazily to avoid import cycles for optional transports.
     from repro.rnic.mp_rdma import MpRdmaTransport
     from repro.rnic.rack_tlp import RackTlpTransport
+    from repro.rnic.rifl import RiflTransport
+    from repro.rnic.sdr import SdrTransport
     from repro.rnic.timeout import TimeoutTransport
     from repro.tcpstack.tcp import TcpTransport
     return {
@@ -42,6 +44,10 @@ def _transport_registry() -> dict[str, type[RnicTransport]]:
         "rack_tlp": RackTlpTransport,
         "timeout": TimeoutTransport,
         "tcp": TcpTransport,
+        # Reliability-scheme frontier (transports 8 and 9): software
+        # selective repeat and hop-by-hop link-layer retransmission.
+        "sdr": SdrTransport,
+        "rifl": RiflTransport,
     }
 
 
@@ -49,8 +55,8 @@ def _transport_registry() -> dict[str, type[RnicTransport]]:
 class NetworkSpec:
     """Declarative description of one simulated network."""
 
-    transport: str = "dcp"                 # gbn|irn|dcp|mp_rdma|rack_tlp|timeout
-    cc: str = "none"                       # none|window|dcqcn
+    transport: str = "dcp"                 # any _transport_registry() key
+    cc: str = "none"                       # none|window|dcqcn|swift
     lb: str = "ar"                         # ecmp|ar|spray
     topology: str = "clos"                 # clos|testbed|direct
     num_hosts: int = 32
@@ -190,6 +196,9 @@ class Network:
                 red=self._red_profile(), loss_rate=spec.loss_rate,
                 loss_seed=spec.seed)
             return cfg
+        # RIFL owns loss at the link layer: the hop shims take over the
+        # injected corruption rate, so switches must not also drop.
+        loss_rate = 0.0 if spec.transport == "rifl" else spec.loss_rate
         pfc = None
         data_queue_bytes = None
         if self.spec.needs_pfc():
@@ -205,7 +214,7 @@ class Network:
             num_ports=num_ports, rate_bits_per_ns=spec.link_rate,
             buffer_bytes=spec.buffer_bytes, enable_trimming=False,
             data_queue_bytes=data_queue_bytes,
-            pfc=pfc, red=self._red_profile(), loss_rate=spec.loss_rate,
+            pfc=pfc, red=self._red_profile(), loss_rate=loss_rate,
             loss_seed=spec.seed)
 
     def _red_profile(self) -> Optional[RedProfile]:
@@ -241,6 +250,13 @@ class Network:
         else:
             raise ValueError(f"unknown topology {spec.topology!r}")
         fab.mtu_payload = spec.mtu_payload
+        if spec.transport == "rifl":
+            # Hop-by-hop link-layer retransmission: every link gets a
+            # shim that absorbs corruption (incl. the injected
+            # loss_rate, which the switch/link configs zeroed above)
+            # and buffers across down periods.
+            from repro.net.rifl import install_rifl
+            install_rifl(self.sim, fab, spec.loss_rate, spec.seed)
         return fab
 
     def _make_cc(self) -> CongestionControl:
@@ -266,6 +282,21 @@ class Network:
                 window = max(window, self.tconfig.max_message_bytes
                              + self.tconfig.window_bytes)
             return StaticWindowCc(window_bytes=window)
+        if spec.cc == "swift":
+            # Delay-target AIMD: target = base RTT plus queueing slack
+            # of a few MTUs per hop, scaled off the fabric like the RTO
+            # floors above.
+            from repro.cc.swift import SwiftCc, SwiftParams
+            base_rtt = 2 * self._estimate_oneway_ns()
+            mtu_ser = serialization_ns(
+                spec.mtu_payload + 100, spec.link_rate)
+            window = self.tconfig.window_bytes
+            return SwiftCc(SwiftParams(
+                target_delay_ns=base_rtt + 16 * mtu_ser,
+                mtu_bytes=spec.mtu_payload,
+                initial_cwnd_bytes=window,
+                min_cwnd_bytes=2 * spec.mtu_payload,
+                max_cwnd_bytes=4 * window))
         if spec.cc == "none":
             # Every RNIC transport ships a BDP flow-control window even
             # "without CC" (§6.2 gives IRN one; the DCP-RNIC prototype is

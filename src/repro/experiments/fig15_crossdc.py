@@ -12,12 +12,19 @@ from __future__ import annotations
 
 from repro.analysis.fct import overall_percentiles
 from repro.experiments.common import build_network
-from repro.experiments.fig13_websearch import SCHEMES, run_scheme
+from repro.experiments.fig13_websearch import SCHEMES as _FIG13_SCHEMES
+from repro.experiments.fig13_websearch import run_scheme
 from repro.experiments.presets import get_preset
 from repro.experiments.result import ExperimentResult
 
 #: (label, spine one-way delay ns) — scaled-down analogues of 100/1000 km.
 DISTANCES = (("100km", 500_000), ("1000km", 5_000_000))
+
+#: fig13's scheme list plus the reliability-scheme frontier: SDR's
+#: selective repeat and RIFL's hop-local repair are exactly the designs
+#: whose recovery cost should *not* scale with end-to-end distance.
+SCHEMES = _FIG13_SCHEMES + (("sdr-ar", "sdr", "ar"),
+                            ("rifl-ecmp", "rifl", "ecmp"))
 
 
 def run(preset: str = "default", load: float = 0.5,

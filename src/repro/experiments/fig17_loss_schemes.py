@@ -1,10 +1,15 @@
-"""Fig 17: loss-recovery efficiency of DCP, RACK-TLP, IRN and timeout-only.
+"""Fig 17: loss-recovery efficiency across every registry transport.
 
 Single long flow under ECMP with forced switch drops (trims for DCP).
-Shape to preserve: DCP stays near line rate, RACK-TLP trails DCP
-(retransmission delayed one RTT), IRN falls behind RACK-TLP as
-retransmitted-packet losses push it into RTOs, and the timeout-only
-scheme collapses sharply with the loss rate.
+Paper shape to preserve among the original four schemes: DCP stays
+near line rate, RACK-TLP trails DCP (retransmission delayed one RTT),
+IRN falls behind RACK-TLP as retransmitted-packet losses push it into
+RTOs, and the timeout-only scheme collapses sharply with the loss
+rate.  The sweep now covers the whole transport registry — the
+reliability-scheme frontier adds SDR (selective repeat with per-hole
+timers: loss costs retransmissions but no RTOs) and RIFL (hop-by-hop
+link-layer retx: the end-to-end transport never sees the loss at all,
+paying only hop round trips).
 
 This experiment declares its (scheme x loss-rate) grid as sweep points,
 so ``repro.runner`` can shard it across processes and cache each
@@ -15,13 +20,15 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.experiments.common import NetworkSpec
+from repro.experiments.common import NetworkSpec, _transport_registry
 from repro.experiments.presets import ScalePreset, get_preset
 from repro.experiments.result import ExperimentResult
 from repro.runner import ExperimentRunner, SweepPoint, serial_runner
 
 LOSS_RATES = (0.0, 0.0001, 0.001, 0.005, 0.01, 0.02, 0.05)
-SCHEMES = ("dcp", "rack_tlp", "irn", "timeout")
+#: Every transport in the registry, so a newly registered scheme lands
+#: in this comparison automatically (alphabetical: column order only).
+SCHEMES = tuple(sorted(_transport_registry()))
 
 #: Point runner shared with other single/multi-flow sweeps.
 POINT_RUNNER = "repro.runner.points.simulate_flows"

@@ -110,7 +110,7 @@ class Packet:
         "src", "dst", "kind", "size_bytes", "payload_bytes", "flow_id",
         "qpn", "src_qpn", "psn", "msn", "ssn", "msg_len_pkts",
         "msg_len_bytes", "msg_offset_pkts", "sretry_no", "emsn", "ack_psn",
-        "sack_psn", "dcp_tag", "ecn_capable", "ecn_ce", "entropy",
+        "sack_psn", "sack_bitmap", "dcp_tag", "ecn_capable", "ecn_ce", "entropy",
         "priority", "pause_priority", "pause_duration_ns", "is_retransmit",
         "ho_returned", "timestamp_ns", "hops", "ingress_hint", "uid",
     )
@@ -120,7 +120,7 @@ class Packet:
                  src_qpn: int = -1, psn: int = -1, msn: int = -1,
                  ssn: int = -1, msg_len_pkts: int = 0, msg_len_bytes: int = 0,
                  msg_offset_pkts: int = 0, sretry_no: int = 0, emsn: int = -1,
-                 ack_psn: int = -1, sack_psn: int = -1,
+                 ack_psn: int = -1, sack_psn: int = -1, sack_bitmap: int = 0,
                  dcp_tag: DcpTag = DcpTag.NON_DCP, ecn_capable: bool = True,
                  ecn_ce: bool = False, entropy: int = 0, priority: int = 0,
                  pause_priority: int = 0, pause_duration_ns: int = 0,
@@ -147,6 +147,7 @@ class Packet:
         self.emsn = emsn                # cumulative expected MSN (ACK packets)
         self.ack_psn = ack_psn          # cumulative PSN (ACK/SACK)
         self.sack_psn = sack_psn        # PSN of the OOO packet behind a SACK
+        self.sack_bitmap = sack_bitmap  # SDR ack vector over [ack_psn+1, +64)
         self.dcp_tag = dcp_tag
         self.ecn_capable = ecn_capable
         self.ecn_ce = ecn_ce            # congestion-experienced mark
@@ -209,6 +210,7 @@ class Packet:
             msg_len_pkts=self.msg_len_pkts, msg_len_bytes=self.msg_len_bytes,
             msg_offset_pkts=self.msg_offset_pkts, sretry_no=self.sretry_no,
             emsn=self.emsn, ack_psn=self.ack_psn, sack_psn=self.sack_psn,
+            sack_bitmap=self.sack_bitmap,
             dcp_tag=self.dcp_tag, ecn_capable=self.ecn_capable,
             entropy=self.entropy, priority=self.priority,
             is_retransmit=self.is_retransmit, timestamp_ns=self.timestamp_ns,
@@ -397,6 +399,7 @@ def make_data_packet(src: int, dst: int, flow_id: int = -1, qpn: int = -1,
     p.emsn = -1
     p.ack_psn = -1
     p.sack_psn = -1
+    p.sack_bitmap = 0
     p.dcp_tag = DcpTag.DCP_DATA if dcp else DcpTag.NON_DCP
     p.ecn_capable = True
     p.ecn_ce = False
@@ -416,14 +419,21 @@ def make_data_packet(src: int, dst: int, flow_id: int = -1, qpn: int = -1,
 def make_ack(src: int, dst: int, flow_id: int = -1, qpn: int = -1,
              src_qpn: int = -1, kind: PacketKind = PacketKind.ACK,
              ack_psn: int = -1, emsn: int = -1, sack_psn: int = -1,
+             sack_bitmap: int = 0, timestamp_ns: int = -1,
              dcp: bool = False, entropy: int = 0, priority: int = 0,
              pool: Optional[PacketPool] = None) -> Packet:
-    """Build an acknowledgment (ACK/SACK/NAK) packet."""
+    """Build an acknowledgment (ACK/SACK/NAK) packet.
+
+    ``sack_bitmap`` is SDR's ack vector (bit *i* acknowledges PSN
+    ``ack_psn + 1 + i``); ``timestamp_ns`` echoes the data packet's send
+    timestamp so delay-based CC (Swift) can sample RTT at the sender.
+    """
     if pool is None:
         return Packet(
             src=src, dst=dst, kind=kind, size_bytes=ACK_PACKET_BYTES,
             flow_id=flow_id, qpn=qpn, src_qpn=src_qpn,
             ack_psn=ack_psn, emsn=emsn, sack_psn=sack_psn,
+            sack_bitmap=sack_bitmap, timestamp_ns=timestamp_ns,
             dcp_tag=DcpTag.DCP_ACK if dcp else DcpTag.NON_DCP,
             entropy=entropy, priority=priority,
         )
@@ -457,6 +467,7 @@ def make_ack(src: int, dst: int, flow_id: int = -1, qpn: int = -1,
     p.emsn = emsn
     p.ack_psn = ack_psn
     p.sack_psn = sack_psn
+    p.sack_bitmap = sack_bitmap
     p.dcp_tag = DcpTag.DCP_ACK if dcp else DcpTag.NON_DCP
     p.ecn_capable = True
     p.ecn_ce = False
@@ -466,7 +477,7 @@ def make_ack(src: int, dst: int, flow_id: int = -1, qpn: int = -1,
     p.pause_duration_ns = 0
     p.is_retransmit = False
     p.ho_returned = False
-    p.timestamp_ns = -1
+    p.timestamp_ns = timestamp_ns
     p.hops = 0
     p.ingress_hint = -1
     p.uid = uid

@@ -39,6 +39,7 @@ KNOWN_METRIC_PATTERNS: tuple[str, ...] = (
     r"link\.[^.\s]+\.(?:delivered_packets|delivered_bytes|dropped_loss|"
     r"dropped_link_down)",
     r"nic\.[^.\s]+\.(?:tx_packets|tx_bytes)",
+    r"rifl\.[^.\s]+\.(?:frames|delivered|hop_retx|held_link_down)",
     rf"rnic\.[^.\s]+\.(?:{_RNIC_FIELDS})",
     rf"switch\.[^.\s]+\.(?:{_SWITCH_FIELDS})",
     r"switch\.[^.\s]+\.p\d+\.(?:data_bytes|ctrl_bytes|busy_ns)",

@@ -67,6 +67,10 @@ class TransportConfig:
     wqe_fetch_n: int = 8
     coarse_timeout_ns: int = 4_000_000   # DCP fallback timer (§4.5)
     dcp_naive_retrans: bool = False      # ablation: per-HO fetch (2 PCIe RTs each)
+    # --- SDR selective repeat (reliability-scheme frontier) ----------------
+    sdr_hole_timeout_ns: int = 0         # per-hole retx timer; 0 -> rto_low_ns
+    sdr_reorder_window_pkts: int = 0     # rx reorder bound; 0 -> 2x window/mtu
+    sdr_sack_gap_pkts: int = 3           # ack-vector gap triggering fast retx
     # --- misc --------------------------------------------------------------
     cnp_interval_ns: int = 50_000        # DCQCN receiver CNP moderation
     debug_oracle: bool = False           # ground-truth exactly-once checking

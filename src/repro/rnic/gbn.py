@@ -320,6 +320,6 @@ class GbnTransport(RnicTransport):
         # Positional make_ack: (flow_id, qpn, src_qpn, kind, ack_psn,
         # emsn, sack_psn, dcp, entropy, priority, pool).
         ack = make_ack(self.host_id, qp.peer_host_id, -1, qp.peer_qpn,
-                       qp.qpn, kind, ack_psn, -1, -1, False, qp.entropy, 0,
-                       self.pool)
+                       qp.qpn, kind, ack_psn, dcp=False, entropy=qp.entropy,
+                       pool=self.pool)
         self.nic.send_control(ack)

@@ -169,7 +169,17 @@ class TimeoutTransport(RnicTransport):
                     st.epsn += 1
             else:
                 st.ooo.add(packet.psn)
+        self._send_ack(qp, st, packet)
+
+    def _send_ack(self, qp: QueuePair, st: _ToRecvState,
+                  data_packet: Packet) -> None:
+        """Cumulative ACK for the current receive state.
+
+        Overridable hook: subclasses (RIFL) echo the data packet's send
+        timestamp here so delay-based CC gets RTT samples.
+        """
         ack = make_ack(self.host_id, qp.peer_host_id, flow_id=-1,
                        qpn=qp.peer_qpn, src_qpn=qp.qpn, kind=PacketKind.ACK,
-                       ack_psn=st.epsn - 1, dcp=False, entropy=qp.entropy, pool=self.pool)
+                       ack_psn=st.epsn - 1, dcp=False, entropy=qp.entropy,
+                       pool=self.pool)
         self.nic.send_control(ack)

@@ -20,7 +20,7 @@ from typing import Any, Optional
 #: v2: point payloads gained the always-on "metrics" snapshot.
 #: v3: transport stats gained ``coarse_timeouts``; chaos-aware points
 #: open flows before sampler start and attach a ``chaos`` block.
-CACHE_VERSION = 3
+CACHE_VERSION = 4
 
 
 def default_cache_dir() -> Path:

@@ -286,8 +286,8 @@ class TcpTransport(RnicTransport):
             else:
                 st.ooo.add(packet.psn)
         ack = make_ack(self.host_id, qp.peer_host_id, -1, qp.peer_qpn,
-                       qp.qpn, PacketKind.TCP_ACK, st.epsn - 1, -1, -1,
-                       False, qp.entropy, 0, self.pool)
+                       qp.qpn, PacketKind.TCP_ACK, st.epsn - 1, dcp=False,
+                       entropy=qp.entropy, pool=self.pool)
         self.nic.send_control(ack)
         release(self.sim, packet)
 

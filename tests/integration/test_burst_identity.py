@@ -26,7 +26,10 @@ from repro.experiments.common import NetworkSpec
 from repro.experiments.presets import get_preset
 from repro.runner.points import simulate_flows
 
-TRANSPORTS = ("gbn", "dcp", "tcp")
+#: sdr and rifl declare ``supports_burst = False``: under REPRO_BURST=1
+#: the engine's burst poll must detect that and take the serial
+#: fallback, which these matrix cells prove is payload-invisible.
+TRANSPORTS = ("gbn", "dcp", "tcp", "sdr", "rifl")
 
 #: (REPRO_BURST, REPRO_PACKET_POOL, REPRO_PACKET_POOL_DEBUG)
 GATE_MATRIX = (

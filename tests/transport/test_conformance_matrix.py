@@ -26,6 +26,18 @@ from repro.experiments.common import Network, NetworkSpec, _transport_registry
 LOSS_RATES = (0.0, 0.01, 0.05)
 TRANSPORTS = sorted(_transport_registry())
 
+#: The matrix is parametrized straight off the registry, so adding
+#: transport #10 is a one-line change *there*; this pin makes the
+#: addition (or an accidental removal) loud here too.
+EXPECTED_TRANSPORTS = ("dcp", "gbn", "irn", "mp_rdma", "rack_tlp",
+                       "rifl", "sdr", "tcp", "timeout")
+
+
+def test_registry_covers_expected_transports() -> None:
+    assert tuple(TRANSPORTS) == EXPECTED_TRANSPORTS, (
+        "transport registry changed - extend EXPECTED_TRANSPORTS (and the "
+        "docs tables) in the same commit")
+
 # Small flows keep the whole 42-cell matrix in the low seconds while
 # still spanning multiple windows, messages and (under loss) recovery
 # episodes per flow.
@@ -81,6 +93,15 @@ def test_loss_injection_actually_bites(transport: str, topology: str) -> None:
     without ever exercising its recovery path.
     """
     net, _flows = _run_matrix_cell(transport, topology, 0.05)
+    if transport == "rifl":
+        # RIFL absorbs the forced loss below the transport: the link
+        # shims roll the same corruption probability per frame but
+        # repair hop-by-hop, so the loss shows up as hop retransmissions
+        # rather than fabric drops.
+        shims = net.fabric.rifl_shims
+        assert sum(s.stats.hop_retx for s in shims) > 0, (
+            f"rifl/{topology}: no hop-level corruption observed at 5%")
+        return
     if topology == "clos":
         # DCP-Switches turn forced drops into trims (header-only packets)
         # rather than losses, exactly as the paper's P4 program does.

@@ -291,8 +291,10 @@ class TestRegistryIntegration:
         assert not get_entry("table1").has_sweep()
 
     def test_sweep_points_shapes(self):
+        from repro.experiments import fig17_loss_schemes as fig17
         pts = sweep_points("fig17", preset="quick")
-        assert pts is not None and len(pts) == 7 * 4      # loss x scheme grid
+        assert len(fig17.SCHEMES) == 9                    # full registry
+        assert pts is not None and len(pts) == 7 * 9      # loss x scheme grid
         assert len({p.point_id for p in pts}) == len(pts)
         assert sweep_points("table1", preset="quick") is None
 
