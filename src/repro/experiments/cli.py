@@ -13,12 +13,21 @@ Telemetry export:
   (plus sampled time series, with ``--sample-interval-ns``) as JSONL —
   validate with ``python -m repro.obs.schema FILE``;
 * ``--trace-out FILE`` enables event tracing inside every point and
-  writes the records as JSONL.
+  writes the records as JSONL;
+* ``--breakdown`` enables span tracing (:mod:`repro.obs.spans`) and
+  prints a per-flow FCT attribution table after each experiment —
+  queue wait vs serialization vs propagation vs host vs retx/pause
+  stalls vs reorder holds (with ``--metrics-out``, the breakdown rows
+  are appended to the JSONL as ``breakdown`` records);
+* ``--perfetto-out FILE`` also enables span tracing and writes every
+  point's packet-lifecycle spans as one Chrome trace-event file —
+  load it at https://ui.perfetto.dev, validate with
+  ``python -m repro.obs.spans --validate FILE``.
 
 ``--metrics-out`` alone changes nothing about the computation (counters
 are always on), so it serves from the same cache entries as an
-unflagged run.  Tracing and sampling *do* change the cache key: a traced
-point is a different computation.
+unflagged run.  Tracing, sampling and span recording *do* change the
+cache key: a traced point is a different computation.
 """
 
 from __future__ import annotations
@@ -28,7 +37,8 @@ import sys
 import time
 
 from repro.experiments.registry import REGISTRY, run_experiment
-from repro.obs import metrics, write_metrics_jsonl, write_trace_jsonl
+from repro.obs import (metrics, spans, write_breakdown_jsonl,
+                       write_metrics_jsonl, write_perfetto, write_trace_jsonl)
 from repro.obs.export import tracer_payload
 from repro.obs.registry import MetricsRegistry
 from repro.runner import ExperimentRunner, ResultCache
@@ -40,6 +50,8 @@ def build_telemetry(args: argparse.Namespace) -> dict | None:
     telemetry: dict = {}
     if args.trace_out:
         telemetry["trace"] = {"max_records": args.trace_max_records}
+    if args.breakdown or args.perfetto_out:
+        telemetry["spans"] = {"max_spans": args.span_max_spans}
     if args.sample_interval_ns > 0:
         telemetry["sample_interval_ns"] = args.sample_interval_ns
     return telemetry or None
@@ -79,6 +91,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace-max-records", type=int, default=100_000,
                         metavar="N",
                         help="per-point trace record cap (default: 100000)")
+    parser.add_argument("--breakdown", action="store_true",
+                        help="record packet-lifecycle spans and print a "
+                             "per-flow FCT attribution table (queue / "
+                             "serialization / propagation / host / retx / "
+                             "pause / reorder)")
+    parser.add_argument("--perfetto-out", default=None, metavar="FILE",
+                        help="record packet-lifecycle spans and write them "
+                             "as one Chrome trace-event file (open at "
+                             "ui.perfetto.dev; validate with "
+                             "python -m repro.obs.spans --validate)")
+    parser.add_argument("--span-max-spans", type=int, default=1_000_000,
+                        metavar="N",
+                        help="per-point span record cap (default: 1000000)")
     parser.add_argument("--sample-interval-ns", type=int, default=0,
                         metavar="NS",
                         help="sample registered gauges every NS of simulated "
@@ -125,10 +150,14 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     runner = build_runner(args)
-    exporting = args.metrics_out or args.trace_out
+    spans_on = args.breakdown or bool(args.perfetto_out)
+    exporting = args.metrics_out or args.trace_out or spans_on
     metrics_fh = open(args.metrics_out, "w") if args.metrics_out else None
     trace_fh = open(args.trace_out, "w") if args.trace_out else None
     metrics_lines = trace_lines = 0
+    #: key -> {"<experiment>/<point>": span payload}, flattened into one
+    #: Perfetto trace at exit so multi-experiment runs stay one file.
+    perfetto_points: dict[str, dict] = {}
     profiler = None
     if args.profile is not None:
         import cProfile
@@ -142,8 +171,9 @@ def main(argv: list[str] | None = None) -> int:
             # Non-sweep (analytic / inline) experiments never reach a
             # point runner; give them a process-global registry/tracer
             # so their component activity is still captured.
-            global_reg = global_tracer = None
+            global_reg = global_tracer = global_spans = None
             prev_reg, prev_tracer = metrics.active(), trace.active()
+            prev_spans = spans.active()
             if exporting:
                 global_reg = MetricsRegistry()
                 metrics.install(global_reg)
@@ -151,6 +181,10 @@ def main(argv: list[str] | None = None) -> int:
                     global_tracer = trace.Tracer(
                         max_records=args.trace_max_records)
                     trace.install(global_tracer)
+                if spans_on:
+                    global_spans = spans.SpanTracker(
+                        max_spans=args.span_max_spans)
+                    spans.install(global_spans)
             try:
                 # ``chaos`` only reaches experiments whose run() accepts
                 # it (the robustness campaign); signature filtering in
@@ -160,7 +194,11 @@ def main(argv: list[str] | None = None) -> int:
             finally:
                 metrics.install(prev_reg)
                 trace.install(prev_tracer)
+                spans.install(prev_spans)
             result.print_table()
+            if args.breakdown:
+                print(result.format_breakdown())
+                print()
             print(f"[{key} finished in {time.time() - start:.1f}s]\n")
 
             swept = (runner.last_experiment == key)
@@ -170,10 +208,18 @@ def main(argv: list[str] | None = None) -> int:
                 if not result.metrics:
                     result.metrics = dict(by_point)
                 metrics_lines += write_metrics_jsonl(metrics_fh, key, by_point)
+                if args.breakdown and swept and runner.last_breakdowns:
+                    metrics_lines += write_breakdown_jsonl(
+                        metrics_fh, key, runner.last_breakdowns)
             if trace_fh is not None:
                 by_point = (runner.last_traces if swept and runner.last_traces
                             else {"run": tracer_payload(global_tracer)})
                 trace_lines += write_trace_jsonl(trace_fh, key, by_point)
+            if args.perfetto_out:
+                by_point = (runner.last_spans if swept and runner.last_spans
+                            else {"run": global_spans.to_payload()})
+                for point, payload in by_point.items():
+                    perfetto_points[f"{key}/{point}"] = payload
     finally:
         if profiler is not None:
             profiler.disable()
@@ -193,6 +239,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[metrics: {metrics_lines} records -> {args.metrics_out}]")
     if trace_fh is not None:
         print(f"[trace: {trace_lines} records -> {args.trace_out}]")
+    if args.perfetto_out:
+        with open(args.perfetto_out, "w") as fh:
+            events = write_perfetto(fh, perfetto_points)
+        print(f"[perfetto: {events} events -> {args.perfetto_out}]")
     stats = runner.cache.stats()
     if runner.cache.enabled and (stats["hits"] or stats["misses"]):
         print(f"[runner: {runner.simulations_executed} simulations executed, "

@@ -129,8 +129,9 @@ def run_experiment(key: str, **kwargs) -> ExperimentResult:
     # runner reused across keys handing out stale metrics).
     runner = kwargs.get("runner")
     if (runner is not None
-            and getattr(runner, "last_experiment", None) == key
-            and getattr(runner, "last_metrics", None)
-            and not result.metrics):
-        result.metrics = dict(runner.last_metrics)
+            and getattr(runner, "last_experiment", None) == key):
+        if getattr(runner, "last_metrics", None) and not result.metrics:
+            result.metrics = dict(runner.last_metrics)
+        if getattr(runner, "last_breakdowns", None) and not result.breakdown:
+            result.breakdown = dict(runner.last_breakdowns)
     return result

@@ -17,6 +17,10 @@ class ExperimentResult:
     #: point_id -> metrics payload (``MetricsRegistry.to_payload`` form);
     #: attached by the CLI / run_experiment when telemetry was collected.
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: point_id -> list of per-flow FCT breakdown dicts
+    #: (:func:`repro.analysis.latency.flow_breakdown` components);
+    #: attached when span tracing was enabled (``--breakdown``).
+    breakdown: dict[str, Any] = field(default_factory=dict)
 
     def columns(self) -> list[str]:
         cols: list[str] = []
@@ -71,6 +75,7 @@ class ExperimentResult:
             "rows": canonicalize(self.rows),
             "notes": self.notes,
             "metrics": canonicalize(self.metrics),
+            "breakdown": canonicalize(self.breakdown),
         }
 
     @classmethod
@@ -78,7 +83,29 @@ class ExperimentResult:
         return cls(experiment=payload["experiment"], title=payload["title"],
                    rows=[dict(row) for row in payload["rows"]],
                    notes=payload.get("notes", ""),
-                   metrics=dict(payload.get("metrics", {})))
+                   metrics=dict(payload.get("metrics", {})),
+                   breakdown=dict(payload.get("breakdown", {})))
+
+    def format_breakdown(self) -> str:
+        """Per-flow FCT attribution table (``--breakdown``).
+
+        One row per (point, flow): FCT plus each component as a
+        percentage.  A ``*`` after the flow id flags a flow that had
+        not completed when the run ended (partial attribution).  Points
+        are listed in sorted order so the table is byte-identical
+        whether it was built live or restored from a payload (whose
+        dicts canonicalize to sorted keys).
+        """
+        if not self.breakdown:
+            return (f"== {self.experiment}: breakdown == (no span data; "
+                    "run with --breakdown on a sweep-aware experiment)")
+        from repro.analysis.latency import breakdown_rows
+        ordered = {point: self.breakdown[point]
+                   for point in sorted(self.breakdown)}
+        table = ExperimentResult(
+            self.experiment, "FCT breakdown (% of completion time)",
+            rows=breakdown_rows(ordered))
+        return table.format_table()
 
     def column(self, name: str) -> list[Any]:
         return [row.get(name) for row in self.rows]

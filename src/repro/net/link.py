@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Protocol
 from repro.net.packet import PAYLOAD_KINDS, release
 from repro.obs.registry import CounterBlock
 from repro.obs import registry as metrics
+from repro.obs import spans
 from repro.sim import trace
 from repro.sim.engine import Simulator
 
@@ -121,4 +122,7 @@ class Link:
         stats.delivered_packets += 1
         stats.delivered_bytes += packet.size_bytes
         packet.hops += 1
+        sp = spans._active
+        if sp is not None:
+            sp.propagate(packet, self.sim.now, self.prop_delay_ns, self.name)
         self.sim.call_after(self.prop_delay_ns, self._rx, packet, self.dst_port)

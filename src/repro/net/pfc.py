@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 from repro.net.packet import (Packet, PacketKind, PacketPool,
                               PAUSE_FRAME_BYTES, pool_of)
 from repro.obs import registry as metrics
+from repro.obs import spans
 from repro.obs.registry import CounterBlock
 from repro.sim import trace
 
@@ -124,6 +125,10 @@ class PfcController:
             self.pause_sent[in_port] = False
             self.stats.resume_frames += 1
             self.paused_time_ns[in_port] += self.sim.now - self._pause_start[in_port]
+            sp = spans._active
+            if sp is not None:
+                sp.add(self._pause_start[in_port], self.sim.now, "pause",
+                       -1, -1, f"{self.name}.p{in_port}")
             trace.emit(self.sim.now, "pfc", self.name, action="resume",
                        port=in_port, ingress_bytes=self.ingress_bytes[in_port])
             self.send_frame(in_port,

@@ -25,6 +25,7 @@ from typing import Callable, Optional
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.net.queues import ByteQueue, StrictPriorityScheduler, WrrScheduler
+from repro.obs import spans
 from repro.sim.engine import CancelledToken, Simulator
 from repro.sim.units import serialization_ns
 
@@ -108,6 +109,9 @@ class EgressPort:
         if ok:
             self.buffered_bytes += packet.size_bytes
             self.buffered_packets += 1
+            sp = spans._active
+            if sp is not None:
+                sp.note_enqueue(packet.uid, self.sim.now)
             if self._burst_cls >= 0 and self._burst_cls != cls:
                 # A second class became servable: the precomputed
                 # drain no longer matches what the scheduler would do.
@@ -176,6 +180,14 @@ class EgressPort:
         self.tx_bytes += packet.size_bytes
         times = self._burst_times
         times.popleft()
+        sp = spans._active
+        if sp is not None:
+            rate = self._int_rate
+            if rate:
+                ser = -(-packet.size_bytes * 8 // rate)
+            else:
+                ser = serialization_ns(packet.size_bytes, self.rate)
+            sp.port_tx(packet, self.sim.now, ser, self.name)
         if self.on_dequeue is not None:
             self.on_dequeue(packet)
         if self.link is not None:
@@ -229,6 +241,14 @@ class EgressPort:
         self.busy = False
         self.tx_packets += 1
         self.tx_bytes += packet.size_bytes
+        sp = spans._active
+        if sp is not None:
+            rate = self._int_rate
+            if rate:
+                ser = -(-packet.size_bytes * 8 // rate)
+            else:
+                ser = serialization_ns(packet.size_bytes, self.rate)
+            sp.port_tx(packet, self.sim.now, ser, self.name)
         if self.on_dequeue is not None:
             self.on_dequeue(packet)
         if self.link is not None:

@@ -19,13 +19,18 @@ discipline as :mod:`repro.sim.trace`.
 """
 
 from repro.obs import registry as metrics
-from repro.obs.export import (SCHEMA_VERSION, metrics_records, trace_records,
-                              tracer_payload, write_metrics_jsonl,
-                              write_trace_jsonl)
+from repro.obs import spans
+from repro.obs.export import (SCHEMA_VERSION, breakdown_records,
+                              metrics_records, span_records, trace_records,
+                              tracer_payload, write_breakdown_jsonl,
+                              write_metrics_jsonl, write_trace_jsonl)
 from repro.obs.registry import (Counter, CounterBlock, Gauge, Histogram,
                                 MetricsRegistry)
 from repro.obs.schema import (KNOWN_METRIC_PATTERNS, known_metric,
-                              validate_file, validate_lines)
+                              validate_file, validate_lines, validate_path,
+                              validate_perfetto)
+from repro.obs.spans import (SPAN_KINDS, SpanTracker, perfetto_trace,
+                             write_perfetto)
 
 
 def __getattr__(name: str):
@@ -47,13 +52,23 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSampler",
     "SCHEMA_VERSION",
+    "SPAN_KINDS",
+    "SpanTracker",
+    "breakdown_records",
     "known_metric",
     "metrics",
     "metrics_records",
+    "perfetto_trace",
+    "span_records",
+    "spans",
     "trace_records",
     "tracer_payload",
     "validate_file",
     "validate_lines",
+    "validate_path",
+    "validate_perfetto",
+    "write_breakdown_jsonl",
     "write_metrics_jsonl",
+    "write_perfetto",
     "write_trace_jsonl",
 ]

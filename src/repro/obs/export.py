@@ -17,6 +17,14 @@ record shapes (validated by :mod:`repro.obs.schema`):
 ``{"type": "trace", "experiment": K, "point": P, "time_ns": T,
    "category": C, "actor": A, "detail": {...}}``
     One :class:`repro.sim.trace.TraceRecord` (``--trace-out`` files).
+``{"type": "span", ..., "start_ns": S, "end_ns": E, "kind": K,
+   "flow_id": F, "uid": U, "actor": A}``
+    One :class:`repro.obs.spans.SpanTracker` interval.
+``{"type": "breakdown", ..., "flow": F, "fct_ns": T, "completed": B,
+   "components": {...}}``
+    One flow's FCT attribution
+    (:func:`repro.analysis.latency.flow_breakdown`); written into
+    ``--metrics-out`` files when ``--breakdown`` is active.
 
 ``metrics_by_point`` maps point id -> the ``metrics`` payload produced
 by :meth:`repro.obs.registry.MetricsRegistry.to_payload`; for non-sweep
@@ -95,6 +103,42 @@ def write_trace_jsonl(fh: TextIO, experiment: str,
     """Write one experiment's trace records to ``fh``; returns lines."""
     n = 0
     for record in trace_records(experiment, traces_by_point):
+        fh.write(_dump(record) + "\n")
+        n += 1
+    return n
+
+
+# -------------------------------------------------------- spans / breakdowns
+def span_records(experiment: str,
+                 spans_by_point: dict[str, dict]) -> Iterator[dict]:
+    """Flatten per-point span payloads into JSONL record dicts."""
+    for point, payload in spans_by_point.items():
+        for start_ns, end_ns, kind, flow_id, uid, actor in \
+                payload.get("spans", []):
+            yield {"type": "span", "experiment": experiment, "point": point,
+                   "start_ns": start_ns, "end_ns": end_ns, "kind": kind,
+                   "flow_id": flow_id, "uid": uid, "actor": actor}
+
+
+def breakdown_records(experiment: str,
+                      breakdowns_by_point: dict[str, list]) -> Iterator[dict]:
+    """Flatten per-point flow breakdowns into JSONL record dicts."""
+    from repro.analysis.latency import COMPONENTS
+    for point, flows in breakdowns_by_point.items():
+        for entry in flows:
+            yield {"type": "breakdown", "experiment": experiment,
+                   "point": point, "flow": entry.get("flow_id", -1),
+                   "fct_ns": entry.get("fct_ns", 0),
+                   "completed": bool(entry.get("completed", True)),
+                   "residual_ns": entry.get("residual_ns", 0),
+                   "components": {c: entry.get(c, 0) for c in COMPONENTS}}
+
+
+def write_breakdown_jsonl(fh: TextIO, experiment: str,
+                          breakdowns_by_point: dict[str, list]) -> int:
+    """Write one experiment's breakdown records; returns lines written."""
+    n = 0
+    for record in breakdown_records(experiment, breakdowns_by_point):
         fh.write(_dump(record) + "\n")
         n += 1
     return n

@@ -1,18 +1,23 @@
-"""Schema validation for exported metrics JSONL (CI smoke guard).
+"""Schema validation for exported telemetry files (CI smoke guard).
 
-Validates two things about a ``--metrics-out`` file:
+Validates three kinds of export:
 
-1. **record shape** — every line is a JSON object of a known ``type``
-   with that type's required keys (see :mod:`repro.obs.export` for the
-   documented shapes);
+1. **record shape** — every JSONL line is a JSON object of a known
+   ``type`` with that type's required keys (see :mod:`repro.obs.export`
+   for the documented shapes, including the span/breakdown families);
 2. **metric names** — every name matches the catalog below, which
    enumerates the instruments the instrumented components register.
    An unknown name fails validation, so silently renamed or drive-by
-   emit sites are caught the moment CI runs.
+   emit sites are caught the moment CI runs;
+3. **Perfetto exports** — a ``--perfetto-out`` file (a single JSON
+   object with ``traceEvents``) is checked for the Chrome trace-event
+   contract: every event carries ``ph``/``pid``/``tid``, slices and
+   instants carry ``ts``, and slices carry a non-negative ``dur``.
 
-Run directly::
+Run directly (the file kind is sniffed)::
 
     python -m repro.obs.schema metrics.jsonl
+    python -m repro.obs.schema run-perfetto.json
 """
 
 from __future__ import annotations
@@ -63,7 +68,20 @@ _REQUIRED_KEYS = {
     "series": ("experiment", "point", "name", "times_ns", "values"),
     "trace": ("experiment", "point", "time_ns", "category", "actor",
               "detail"),
+    "span": ("experiment", "point", "start_ns", "end_ns", "kind",
+             "flow_id", "actor"),
+    "breakdown": ("experiment", "point", "flow", "fct_ns", "components"),
 }
+
+#: Interval kinds a span record may carry (repro.obs.spans.SPAN_KINDS).
+SPAN_KINDS = frozenset({"queue", "serialization", "propagation", "pause",
+                        "retx_stall", "reorder"})
+
+#: Component keys a breakdown record may carry
+#: (repro.analysis.latency.COMPONENTS).
+BREAKDOWN_COMPONENTS = frozenset({
+    "queue_ns", "serialization_ns", "propagation_ns", "host_ns",
+    "retx_stall_ns", "pause_stall_ns", "reorder_ns"})
 
 
 def known_metric(name: str) -> bool:
@@ -98,6 +116,25 @@ def validate_record(record: object) -> list[str]:
         if len(record["times_ns"]) != len(record["values"]):
             errors.append(f"series {record['name']!r} times/values "
                           "length mismatch")
+    elif rtype == "span":
+        kind = record["kind"]
+        if kind not in SPAN_KINDS:
+            errors.append(f"span kind {kind!r} not in catalog")
+        if record["end_ns"] < record["start_ns"]:
+            errors.append(f"span interval inverted: "
+                          f"[{record['start_ns']}, {record['end_ns']}]")
+    elif rtype == "breakdown":
+        components = record["components"]
+        if not isinstance(components, dict):
+            errors.append("breakdown components is not an object")
+        else:
+            unknown = sorted(set(components) - BREAKDOWN_COMPONENTS)
+            if unknown:
+                errors.append(f"unknown breakdown components {unknown}")
+            negative = sorted(k for k, v in components.items()
+                              if isinstance(v, (int, float)) and v < 0)
+            if negative:
+                errors.append(f"negative breakdown components {negative}")
     return errors
 
 
@@ -125,13 +162,59 @@ def validate_file(path: str) -> list[str]:
         return validate_lines(fh)
 
 
+# ----------------------------------------------------------------- perfetto
+def validate_perfetto(trace: object) -> list[str]:
+    """Schema errors for a decoded Chrome trace-event export."""
+    if not isinstance(trace, dict):
+        return ["trace is not a JSON object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace has no traceEvents list"]
+    if not events:
+        return ["traceEvents is empty"]
+    errors: list[str] = []
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event {i}: not a JSON object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "i", "M"):
+            errors.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if key not in event:
+                errors.append(f"event {i} ({ph}): missing key {key!r}")
+        if ph in ("X", "i") and "ts" not in event:
+            errors.append(f"event {i} ({ph}): missing key 'ts'")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"event {i} (X): dur {dur!r} is not a "
+                              "non-negative number")
+    return errors
+
+
+def validate_path(path: str) -> list[str]:
+    """Validate ``path``, sniffing JSONL vs a Perfetto trace object."""
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    if text.lstrip().startswith("{"):
+        try:
+            obj = json.loads(text)
+        except ValueError:
+            obj = None
+        if isinstance(obj, dict) and "traceEvents" in obj:
+            return validate_perfetto(obj)
+    return validate_lines(text.splitlines())
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if len(argv) != 1:
-        print("usage: python -m repro.obs.schema <metrics.jsonl>",
-              file=sys.stderr)
+        print("usage: python -m repro.obs.schema "
+              "<metrics.jsonl | perfetto.json>", file=sys.stderr)
         return 2
-    errors = validate_file(argv[0])
+    errors = validate_path(argv[0])
     if errors:
         for e in errors[:50]:
             print(e, file=sys.stderr)

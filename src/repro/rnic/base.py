@@ -26,6 +26,7 @@ from typing import Callable, Optional
 from repro.cc.base import CongestionControl, StaticWindowCc
 from repro.net.packet import Packet, PacketKind, pool_of
 from repro.obs import registry as metrics
+from repro.obs import spans
 from repro.obs.registry import CounterBlock
 from repro.sim import trace
 from repro.sim.engine import CancelledToken, Entity, Simulator
@@ -376,9 +377,15 @@ class HostNic:
     def pause(self) -> None:
         if self._burst_token is not None:
             self._truncate_burst()
+        sp = spans._active
+        if sp is not None and not self.paused:
+            sp.pause(self.name, self.sim.now)
         self.paused = True
 
     def resume(self) -> None:
+        sp = spans._active
+        if sp is not None and self.paused:
+            sp.resume(self.name, self.sim.now)
         self.paused = False
         self.kick()
 
@@ -410,6 +417,10 @@ class HostNic:
         self.busy = False
         self.tx_packets += 1
         self.tx_bytes += packet.size_bytes
+        sp = spans._active
+        if sp is not None:
+            sp.nic_tx(packet, self.sim.now, self.ser_ns(packet.size_bytes),
+                      self.name)
         # Always through the method: tests (and chaos scenarios) wrap
         # link.deliver on the instance, so the Tx path must not bypass it.
         self.link.deliver(packet)
@@ -529,6 +540,10 @@ class HostNic:
         self.tx_packets += 1
         self.tx_bytes += packet.size_bytes
         self._burst_times.popleft()
+        sp = spans._active
+        if sp is not None:
+            sp.nic_tx(packet, self.sim.now, self.ser_ns(packet.size_bytes),
+                      self.name)
         self.link.deliver(packet)
         if self._burst_token is not token:
             # deliver()'s fallout truncated the train mid-slot; the
@@ -938,6 +953,10 @@ class RnicTransport(Entity):
         else:
             kind = packet.kind
             if kind is PacketKind.DATA:
+                sp = spans._active
+                if sp is not None:
+                    sp.data_arrival(packet.flow_id, packet.psn, self.sim.now,
+                                    self._actor)
                 self._on_data(qp, packet)
             elif kind is PacketKind.ACK:
                 self._on_ack(qp, packet)
@@ -1056,11 +1075,17 @@ class RnicTransport(Entity):
     def count_retransmit(self, flow: Flow) -> None:
         flow.stats.retx_pkts_sent += 1
         self.stats.retx_pkts += 1
+        sp = spans._active
+        if sp is not None:
+            sp.retransmit(flow.flow_id, self.sim.now, self._actor)
         trace.emit(self.sim.now, "retx", self._actor, flow_id=flow.flow_id)
 
     def count_timeout(self, flow: Flow) -> None:
         flow.stats.timeouts += 1
         self.stats.timeouts += 1
+        sp = spans._active
+        if sp is not None:
+            sp.timeout(flow.flow_id, self.sim.now, self._actor)
         trace.emit(self.sim.now, "timeout", self._actor, flow_id=flow.flow_id)
 
     def count_coarse_timeout(self, flow: Flow) -> None:

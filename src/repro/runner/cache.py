@@ -20,7 +20,9 @@ from typing import Any, Optional
 #: v2: point payloads gained the always-on "metrics" snapshot.
 #: v3: transport stats gained ``coarse_timeouts``; chaos-aware points
 #: open flows before sampler start and attach a ``chaos`` block.
-CACHE_VERSION = 4
+#: v5: span-instrumented points attach ``spans`` and ``breakdown``
+#: blocks (per-flow FCT attribution) to their payloads.
+CACHE_VERSION = 5
 
 
 def default_cache_dir() -> Path:

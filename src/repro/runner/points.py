@@ -15,8 +15,14 @@ injects, and *participate in the cache key* — a traced run is a
 different computation than an untraced one::
 
     {"telemetry": {"trace": {"categories": [...], "max_records": N},
+                   "spans": {"max_spans": N},
                    "sample_interval_ns": 20_000,
                    "per_flow": false}}
+
+With ``spans`` present a :class:`repro.obs.spans.SpanTracker` records
+per-packet lifecycle intervals and the payload gains ``spans`` (the raw
+tracker snapshot) and ``breakdown`` (per-flow FCT attribution from
+:func:`repro.analysis.latency.flow_breakdown`) blocks.
 
 Because the payload rides through :func:`canonicalize` like everything
 else, metrics survive the result cache and merge deterministically
@@ -28,8 +34,10 @@ from __future__ import annotations
 from typing import Any
 
 from repro.analysis.fct import goodput_gbps
+from repro.analysis.latency import flow_breakdown
 from repro.experiments.common import Network, NetworkSpec
 from repro.obs import registry as metrics
+from repro.obs import spans
 from repro.obs.export import tracer_payload
 from repro.obs.registry import MetricsRegistry
 from repro.sim import trace
@@ -69,6 +77,7 @@ def simulate_flows(spec: NetworkSpec, params: dict) -> dict[str, Any]:
     registry = MetricsRegistry(per_flow=bool(telemetry.get("per_flow")))
     prev_registry = metrics.active()
     prev_tracer = trace.active()
+    prev_spans = spans.active()
     tracer = None
     trace_cfg = telemetry.get("trace")
     if trace_cfg is not None:
@@ -78,9 +87,16 @@ def simulate_flows(spec: NetworkSpec, params: dict) -> dict[str, Any]:
             categories=set(categories) if categories else None,
             flow_ids=set(flow_ids) if flow_ids else None,
             max_records=int(trace_cfg.get("max_records", 100_000)))
+    tracker = None
+    span_cfg = telemetry.get("spans")
+    if span_cfg is not None:
+        tracker = spans.SpanTracker(
+            max_spans=int(span_cfg.get("max_spans", 1_000_000)))
     metrics.install(registry)
     if tracer is not None:
         trace.install(tracer)
+    if tracker is not None:
+        spans.install(tracker)
     try:
         net = Network(spec)
         registry.gauge("engine.events",
@@ -95,6 +111,9 @@ def simulate_flows(spec: NetworkSpec, params: dict) -> dict[str, Any]:
             injector = apply_scenario(net, chaos_cfg)
         flows = [net.open_flow(int(src), int(dst), int(size), int(start))
                  for src, dst, size, start in params["flows"]]
+        if tracker is not None:
+            for f in flows:
+                tracker.note_flow(f.flow_id, f.start_ns)
         if chaos_cfg:
             # Receiver-side delivery progress per flow — the raw series
             # the recovery-time metric is computed from.  Registered
@@ -144,7 +163,21 @@ def simulate_flows(spec: NetworkSpec, params: dict) -> dict[str, Any]:
                                              flows, registry)
         if tracer is not None:
             payload["trace"] = tracer_payload(tracer)
+        if tracker is not None:
+            tracker.finalize(net.sim.now)
+            payload["spans"] = tracker.to_payload()
+            # Per-flow FCT attribution over the recorded spans; for a
+            # stalled flow the window closes at end-of-run so partial
+            # time is still attributed (flagged by ``completed``).
+            payload["breakdown"] = [
+                {"flow_id": f.flow_id, "src": f.src, "dst": f.dst,
+                 "completed": f.completed,
+                 **flow_breakdown(
+                     tracker.spans, f.flow_id, f.start_ns,
+                     f.rx_complete_ns if f.completed else net.sim.now)}
+                for f in flows]
         return payload
     finally:
         metrics.install(prev_registry)
         trace.install(prev_tracer)
+        spans.install(prev_spans)

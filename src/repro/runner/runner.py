@@ -105,10 +105,13 @@ class ExperimentRunner:
         #: computed: a traced run is a different computation, so it must
         #: not serve (or poison) untraced cache entries.
         self.telemetry = telemetry
-        #: point_id -> metrics payload / tracer payload from the latest
-        #: run_points call, in sweep-point order (for JSONL export).
+        #: point_id -> metrics payload / tracer payload / span payload /
+        #: flow breakdowns from the latest run_points call, in
+        #: sweep-point order (for JSONL and Perfetto export).
         self.last_metrics: dict[str, Any] = {}
         self.last_traces: dict[str, Any] = {}
+        self.last_spans: dict[str, Any] = {}
+        self.last_breakdowns: dict[str, Any] = {}
         #: Experiment key of the latest run_points call.
         self.last_experiment: Optional[str] = None
         #: Simulations actually executed (cache misses) since construction.
@@ -165,6 +168,8 @@ class ExperimentRunner:
         if self.last_experiment != experiment:
             self.last_metrics = {}
             self.last_traces = {}
+            self.last_spans = {}
+            self.last_breakdowns = {}
         self.last_experiment = experiment
         for point, payload in zip(points, ordered):
             if isinstance(payload, dict):
@@ -172,6 +177,10 @@ class ExperimentRunner:
                     self.last_metrics[point.point_id] = payload["metrics"]
                 if "trace" in payload:
                     self.last_traces[point.point_id] = payload["trace"]
+                if "spans" in payload:
+                    self.last_spans[point.point_id] = payload["spans"]
+                if "breakdown" in payload:
+                    self.last_breakdowns[point.point_id] = payload["breakdown"]
         return ordered
 
     def run_sweep(self, experiment: str, points: Sequence[SweepPoint],

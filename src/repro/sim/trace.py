@@ -33,6 +33,12 @@ class Tracer:
         self.max_records = max_records
         self.records: list[TraceRecord] = []
         self.dropped_records = 0
+        # Per-category / per-flow indexes, maintained at emit time so
+        # by_category()/flow_timeline() are O(result) instead of
+        # O(records) — a retransmission-storm capture holds millions of
+        # "tx" records that a lookup for a rare category never touches.
+        self._by_category: dict[str, list[TraceRecord]] = {}
+        self._by_flow: dict[Any, list[TraceRecord]] = {}
 
     def emit(self, time_ns: int, category: str, actor: str,
              **detail: Any) -> None:
@@ -44,14 +50,18 @@ class Tracer:
         if len(self.records) >= self.max_records:
             self.dropped_records += 1
             return
-        self.records.append(TraceRecord(time_ns, category, actor, detail))
+        record = TraceRecord(time_ns, category, actor, detail)
+        self.records.append(record)
+        self._by_category.setdefault(category, []).append(record)
+        flow_id = detail.get("flow_id")
+        if flow_id is not None:
+            self._by_flow.setdefault(flow_id, []).append(record)
 
     def by_category(self, category: str) -> list[TraceRecord]:
-        return [r for r in self.records if r.category == category]
+        return list(self._by_category.get(category, ()))
 
     def flow_timeline(self, flow_id: int) -> list[TraceRecord]:
-        return [r for r in self.records
-                if r.detail.get("flow_id") == flow_id]
+        return list(self._by_flow.get(flow_id, ()))
 
     def format(self, limit: int = 50, category: Optional[str] = None,
                tail: bool = False) -> str:
@@ -61,12 +71,17 @@ class Tracer:
         filtering would; ``tail=True`` shows the newest records instead
         of the oldest (the end of a run is where retransmission storms
         live).  The footer reports both the records elided by ``limit``
-        and any dropped at capture time by ``max_records``.
+        and any dropped at capture time by ``max_records`` — the latter
+        is capture-wide (drops are counted before any view filter, so
+        the number is the same whatever ``category`` you pass).
         """
         records = (self.records if category is None
                    else self.by_category(category))
-        shown = records[-limit:] if tail else records[:limit]
         lines = []
+        if category is not None:
+            lines.append(f"[category={category}: {len(records)} of "
+                         f"{len(self.records)} captured records]")
+        shown = records[-limit:] if tail else records[:limit]
         for r in shown:
             detail = " ".join(f"{k}={v}" for k, v in r.detail.items())
             lines.append(f"{r.time_ns:>12} ns  {r.category:<6} {r.actor:<16} "
@@ -76,7 +91,8 @@ class Tracer:
             lines.append(f"... {len(records) - limit} {where} records")
         if self.dropped_records > 0:
             lines.append(f"... {self.dropped_records} records dropped at "
-                         f"capture (max_records={self.max_records})")
+                         f"capture, across all categories "
+                         f"(max_records={self.max_records})")
         return "\n".join(lines)
 
 

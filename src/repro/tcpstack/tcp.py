@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.net.packet import (Packet, PacketKind, make_ack,
                               make_data_packet, release)
+from repro.obs import spans
 from repro.rnic.base import (QueuePair, RestartableTimer, RnicTransport,
                              TransportConfig, _BURST_FALLBACK, _GATED,
                              _NO_WORK)
@@ -271,6 +272,12 @@ class TcpTransport(RnicTransport):
         st = qp.rx_state
         if st is None:
             st = self._recv_state(qp)
+        # TCP's dispatch bypasses the base receive() (the stack delay is
+        # paid first), so the span tracker's arrival hook lives here.
+        sp = spans._active
+        if sp is not None:
+            sp.data_arrival(packet.flow_id, packet.psn, self.sim.now,
+                            self._actor)
         flow = self.flow_of(packet)
         if packet.psn < st.epsn or packet.psn in st.ooo:
             if flow is not None:

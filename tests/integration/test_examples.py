@@ -53,6 +53,22 @@ def test_failure_timeline(capsys):
     assert "coarse" in out
 
 
+def test_trace_demo(capsys, tmp_path):
+    path = EXAMPLES / "trace_demo.py"
+    spec = importlib.util.spec_from_file_location("example_trace_demo", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main(str(tmp_path / "demo.json"))
+    finally:
+        sys.modules.pop(spec.name, None)
+    out = capsys.readouterr().out
+    assert "where the time went" in out
+    assert "validated: OK" in out
+    assert (tmp_path / "demo.json").exists()
+
+
 def test_cross_datacenter(capsys):
     out = _run_example("cross_datacenter", capsys)
     assert "inter-DC transfer" in out

@@ -96,6 +96,67 @@ class TestTracer:
         assert "3 records dropped at capture" in out
         assert "max_records=2" in out
 
+    def test_format_footer_drops_are_capture_wide_not_filter_scoped(self):
+        """The drop footer counts capture-time drops, which happen
+        before any view filter — a category-filtered listing must say
+        so (same number, 'across all categories') instead of implying
+        the drops belonged to the filtered category."""
+        tracer = Tracer(max_records=3)
+        trace.install(tracer)
+        trace.emit(0, "rare", "x")
+        for i in range(6):
+            trace.emit(i, "tx", "x")          # 2 kept, 4 dropped
+        out = tracer.format(category="rare")
+        assert "4 records dropped at capture" in out
+        assert "across all categories" in out
+
+    def test_format_header_names_the_active_filter(self):
+        tracer = Tracer()
+        trace.install(tracer)
+        trace.emit(0, "rare", "x")
+        for i in range(5):
+            trace.emit(i, "tx", "x")
+        out = tracer.format(category="rare")
+        assert "[category=rare: 1 of 6 captured records]" in out
+        assert "[category=" not in tracer.format()   # no filter, no header
+
+    def test_category_and_flow_indexes_match_linear_scan(self):
+        tracer = Tracer()
+        trace.install(tracer)
+        for i in range(50):
+            trace.emit(i, "tx" if i % 3 else "drop", "x", flow_id=i % 4)
+        for cat in ("tx", "drop", "absent"):
+            assert tracer.by_category(cat) == [
+                r for r in tracer.records if r.category == cat]
+        for fid in (0, 1, 2, 3, 99):
+            assert tracer.flow_timeline(fid) == [
+                r for r in tracer.records
+                if r.detail.get("flow_id") == fid]
+
+    def test_by_category_is_indexed_not_a_records_scan(self):
+        """Looking up 10 rare records among 200k bulk ones must not pay
+        for the bulk: the emit-time index makes by_category O(result).
+        Pinned against an inline linear scan with a generous margin
+        (best of 3 to shrug off scheduler noise)."""
+        import timeit
+        tracer = Tracer()
+        trace.install(tracer)
+        for i in range(200_000):
+            trace.emit(i, "bulk", "x", flow_id=1)
+        for i in range(10):
+            trace.emit(i, "rare", "x", flow_id=2)
+
+        def linear_scan():
+            return [r for r in tracer.records if r.category == "rare"]
+
+        assert tracer.by_category("rare") == linear_scan()
+        indexed_t = min(timeit.repeat(
+            lambda: tracer.by_category("rare"), number=20, repeat=3))
+        scan_t = min(timeit.repeat(linear_scan, number=20, repeat=3))
+        assert indexed_t * 5 < scan_t, (
+            f"by_category no faster than a records scan "
+            f"({indexed_t:.6f}s vs {scan_t:.6f}s)")
+
 
 class TestSeries:
     def test_stats(self):
