@@ -7,6 +7,12 @@ out over N processes, and completed points are cached by spec hash in
 ``--cache-dir`` (default ``~/.cache/repro``) so re-runs are free.
 Serial, parallel and cached runs produce bit-identical results.
 
+Campaigns (:mod:`repro.campaigns`) run through the same machinery:
+``dcp-experiment campaign <name|path>`` compiles a declarative spec —
+library name or JSON/py-literal file — to sweep points and executes it
+exactly like a figure sweep (same cache, same ``--jobs``, same telemetry
+flags); ``dcp-experiment campaign list`` enumerates the library.
+
 Telemetry export:
 
 * ``--metrics-out FILE`` writes every point's counters/gauges/histograms
@@ -35,11 +41,13 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import ExitStack
 
-from repro.experiments.registry import REGISTRY, run_experiment
+from repro.experiments.registry import (REGISTRY, attach_runner_telemetry,
+                                        run_experiment)
 from repro.obs import (metrics, spans, write_breakdown_jsonl,
                        write_metrics_jsonl, write_perfetto, write_trace_jsonl)
-from repro.obs.export import tracer_payload
+from repro.obs.export import tracer_payload, write_campaign_jsonl
 from repro.obs.registry import MetricsRegistry
 from repro.runner import ExperimentRunner, ResultCache
 from repro.sim import trace
@@ -63,12 +71,29 @@ def build_runner(args: argparse.Namespace) -> ExperimentRunner:
                             telemetry=build_telemetry(args))
 
 
+def print_campaign_list() -> None:
+    """Enumerate the built-in campaign library (no compilation needed:
+    the grid size is the product of the group value counts)."""
+    from repro.campaigns import CAMPAIGNS
+    print(f"{'campaign':22s} {'points':6s} title")
+    for name in sorted(CAMPAIGNS):
+        spec = CAMPAIGNS[name]
+        count = 1
+        for group in spec["groups"]:
+            count *= len(group["values"])
+        print(f"{name:22s} {count:<6d} {spec.get('title', '')}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="dcp-experiment",
         description="Regenerate a table or figure from the DCP paper.")
     parser.add_argument("experiment", nargs="?", default="list",
-                        help="experiment key (e.g. fig13) or 'list'/'all'")
+                        help="experiment key (e.g. fig13), 'campaign', or "
+                             "'list'/'all'")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="with 'campaign': a library campaign name, a "
+                             "JSON/py-literal spec file, or 'list'")
     parser.add_argument("--preset", default="default",
                         choices=("quick", "default", "full"),
                         help="simulation scale preset")
@@ -133,6 +158,11 @@ def main(argv: list[str] | None = None) -> int:
                      "run the simulation; the parent's profile would "
                      "show only dispatch overhead)")
 
+    if args.experiment != "campaign" and args.target is not None:
+        parser.error("a second positional argument only applies to "
+                     "'campaign' (e.g. dcp-experiment campaign "
+                     "incast_backpressure)")
+
     if args.clear_cache:
         cache = ResultCache(root=args.cache_dir)
         removed = cache.clear()
@@ -147,13 +177,30 @@ def main(argv: list[str] | None = None) -> int:
                   f"{'yes' if entry.simulation else 'no ':3s}  "
                   f"{'yes' if entry.has_sweep() else 'no ':5s}  "
                   f"{entry.description}")
+        print()
+        print_campaign_list()
         return 0
+
+    #: campaign-key -> CompiledCampaign for runs launched via the
+    #: campaign subcommand (drives the 'campaign' JSONL record and the
+    #: compiled-points execution path below).
+    campaigns_by_key: dict[str, "object"] = {}
+    if args.experiment == "campaign":
+        if args.target is None or args.target == "list":
+            print_campaign_list()
+            return 0
+        from repro.campaigns import (CampaignError, compile_campaign,
+                                     load_campaign)
+        try:
+            compiled = compile_campaign(load_campaign(args.target),
+                                        args.preset)
+        except (CampaignError, ValueError) as exc:
+            parser.error(f"campaign {args.target!r}: {exc}")
+        campaigns_by_key[compiled.key] = compiled
 
     runner = build_runner(args)
     spans_on = args.breakdown or bool(args.perfetto_out)
     exporting = args.metrics_out or args.trace_out or spans_on
-    metrics_fh = open(args.metrics_out, "w") if args.metrics_out else None
-    trace_fh = open(args.trace_out, "w") if args.trace_out else None
     metrics_lines = trace_lines = 0
     #: key -> {"<experiment>/<point>": span payload}, flattened into one
     #: Perfetto trace at exit so multi-experiment runs stay one file.
@@ -163,70 +210,109 @@ def main(argv: list[str] | None = None) -> int:
         import cProfile
         profiler = cProfile.Profile()
         profiler.enable()
-    try:
-        keys = (list(REGISTRY) if args.experiment == "all"
-                else [args.experiment])
-        for key in keys:
-            start = time.time()
-            # Non-sweep (analytic / inline) experiments never reach a
-            # point runner; give them a process-global registry/tracer
-            # so their component activity is still captured.
-            global_reg = global_tracer = global_spans = None
-            prev_reg, prev_tracer = metrics.active(), trace.active()
-            prev_spans = spans.active()
-            if exporting:
-                global_reg = MetricsRegistry()
-                metrics.install(global_reg)
-                if trace_fh is not None:
-                    global_tracer = trace.Tracer(
-                        max_records=args.trace_max_records)
-                    trace.install(global_tracer)
-                if spans_on:
-                    global_spans = spans.SpanTracker(
-                        max_spans=args.span_max_spans)
-                    spans.install(global_spans)
-            try:
-                # ``chaos`` only reaches experiments whose run() accepts
-                # it (the robustness campaign); signature filtering in
-                # run_experiment drops it everywhere else.
-                result = run_experiment(key, preset=args.preset,
-                                        runner=runner, chaos=args.chaos)
-            finally:
-                metrics.install(prev_reg)
-                trace.install(prev_tracer)
-                spans.install(prev_spans)
-            result.print_table()
-            if args.breakdown:
-                print(result.format_breakdown())
-                print()
-            print(f"[{key} finished in {time.time() - start:.1f}s]\n")
 
-            swept = (runner.last_experiment == key)
-            if metrics_fh is not None:
-                by_point = (runner.last_metrics if swept and runner.last_metrics
-                            else {"run": global_reg.to_payload()})
-                if not result.metrics:
-                    result.metrics = dict(by_point)
-                metrics_lines += write_metrics_jsonl(metrics_fh, key, by_point)
-                if args.breakdown and swept and runner.last_breakdowns:
-                    metrics_lines += write_breakdown_jsonl(
-                        metrics_fh, key, runner.last_breakdowns)
-            if trace_fh is not None:
-                by_point = (runner.last_traces if swept and runner.last_traces
-                            else {"run": tracer_payload(global_tracer)})
-                trace_lines += write_trace_jsonl(trace_fh, key, by_point)
-            if args.perfetto_out:
-                by_point = (runner.last_spans if swept and runner.last_spans
-                            else {"run": global_spans.to_payload()})
-                for point, payload in by_point.items():
-                    perfetto_points[f"{key}/{point}"] = payload
+    def flush_perfetto() -> None:
+        with open(args.perfetto_out, "w") as fh:
+            events = write_perfetto(fh, perfetto_points)
+        print(f"[perfetto: {events} events -> {args.perfetto_out}]")
+
+    # Both export handles live on one ExitStack: if the second open()
+    # raises, the stack unwinds the first, and any exception inside the
+    # loop closes both (the old two-bare-opens form leaked metrics_fh
+    # whenever the trace_fh open failed).
+    try:
+        with ExitStack() as stack:
+            metrics_fh = (stack.enter_context(open(args.metrics_out, "w"))
+                          if args.metrics_out else None)
+            trace_fh = (stack.enter_context(open(args.trace_out, "w"))
+                        if args.trace_out else None)
+            keys = (list(REGISTRY) if args.experiment == "all"
+                    else list(campaigns_by_key) if campaigns_by_key
+                    else [args.experiment])
+            for key in keys:
+                start = time.time()
+                # Non-sweep (analytic / inline) experiments never reach
+                # a point runner; give them a process-global
+                # registry/tracer so their activity is still captured.
+                global_reg = global_tracer = global_spans = None
+                prev_reg, prev_tracer = metrics.active(), trace.active()
+                prev_spans = spans.active()
+                if exporting:
+                    global_reg = MetricsRegistry()
+                    metrics.install(global_reg)
+                    if trace_fh is not None:
+                        global_tracer = trace.Tracer(
+                            max_records=args.trace_max_records)
+                        trace.install(global_tracer)
+                    if spans_on:
+                        global_spans = spans.SpanTracker(
+                            max_spans=args.span_max_spans)
+                        spans.install(global_spans)
+                try:
+                    if key in campaigns_by_key:
+                        from repro.campaigns import run_compiled
+                        result = run_compiled(campaigns_by_key[key], runner)
+                    else:
+                        # ``chaos`` only reaches experiments whose run()
+                        # accepts it (the robustness campaign);
+                        # signature filtering in run_experiment drops it
+                        # everywhere else.
+                        result = run_experiment(key, preset=args.preset,
+                                                runner=runner,
+                                                chaos=args.chaos)
+                finally:
+                    metrics.install(prev_reg)
+                    trace.install(prev_tracer)
+                    spans.install(prev_spans)
+                result.print_table()
+                if args.breakdown:
+                    print(result.format_breakdown())
+                    print()
+                print(f"[{key} finished in {time.time() - start:.1f}s]\n")
+
+                # Metrics reach result.metrics whether or not an export
+                # flag was set, so programmatic callers (and tests) see
+                # the same result object either way; the JSONL export
+                # below reads from the result rather than deciding the
+                # attachment.
+                swept = (runner.last_experiment == key)
+                attach_runner_telemetry(result, runner, key)
+                if not result.metrics and global_reg is not None:
+                    result.metrics = {"run": global_reg.to_payload()}
+                if metrics_fh is not None:
+                    if key in campaigns_by_key:
+                        compiled = campaigns_by_key[key]
+                        metrics_lines += write_campaign_jsonl(
+                            metrics_fh, key, compiled.name,
+                            [{"name": g, "axis": a}
+                             for g, a in compiled.groups],
+                            [p.point_id for p in compiled.points])
+                    metrics_lines += write_metrics_jsonl(
+                        metrics_fh, key, result.metrics)
+                    if args.breakdown and swept and runner.last_breakdowns:
+                        metrics_lines += write_breakdown_jsonl(
+                            metrics_fh, key, runner.last_breakdowns)
+                if trace_fh is not None:
+                    by_point = (runner.last_traces
+                                if swept and runner.last_traces
+                                else {"run": tracer_payload(global_tracer)})
+                    trace_lines += write_trace_jsonl(trace_fh, key, by_point)
+                if args.perfetto_out:
+                    by_point = (runner.last_spans
+                                if swept and runner.last_spans
+                                else {"run": global_spans.to_payload()})
+                    for point, payload in by_point.items():
+                        perfetto_points[f"{key}/{point}"] = payload
+    except BaseException:
+        # A failure partway through (e.g. experiment 7 of 'all') must
+        # not discard the spans already collected: flush what we have so
+        # the partial trace is inspectable.
+        if args.perfetto_out and perfetto_points:
+            flush_perfetto()
+        raise
     finally:
         if profiler is not None:
             profiler.disable()
-        if metrics_fh is not None:
-            metrics_fh.close()
-        if trace_fh is not None:
-            trace_fh.close()
     if profiler is not None:
         import pstats
         if args.profile == "-":
@@ -235,14 +321,12 @@ def main(argv: list[str] | None = None) -> int:
             profiler.dump_stats(args.profile)
             print(f"[profile: raw pstats -> {args.profile} "
                   f"(inspect with python -m pstats)]")
-    if metrics_fh is not None:
+    if args.metrics_out:
         print(f"[metrics: {metrics_lines} records -> {args.metrics_out}]")
-    if trace_fh is not None:
+    if args.trace_out:
         print(f"[trace: {trace_lines} records -> {args.trace_out}]")
     if args.perfetto_out:
-        with open(args.perfetto_out, "w") as fh:
-            events = write_perfetto(fh, perfetto_points)
-        print(f"[perfetto: {events} events -> {args.perfetto_out}]")
+        flush_perfetto()
     stats = runner.cache.stats()
     if runner.cache.enabled and (stats["hits"] or stats["misses"]):
         print(f"[runner: {runner.simulations_executed} simulations executed, "

@@ -113,6 +113,24 @@ def sweep_points(key: str, preset: str = "default") -> Optional[list]:
     return sweep(get_preset(preset))
 
 
+def attach_runner_telemetry(result: ExperimentResult, runner: Any,
+                            key: str) -> ExperimentResult:
+    """Attach telemetry ``runner`` harvested while executing ``key``.
+
+    The ``last_experiment`` token guards against a runner reused across
+    keys handing out stale metrics.  Shared by :func:`run_experiment`,
+    the campaign executor and the CLI so every path hands back the same
+    result object whether or not an export flag was set.
+    """
+    if (runner is not None
+            and getattr(runner, "last_experiment", None) == key):
+        if getattr(runner, "last_metrics", None) and not result.metrics:
+            result.metrics = dict(runner.last_metrics)
+        if getattr(runner, "last_breakdowns", None) and not result.breakdown:
+            result.breakdown = dict(runner.last_breakdowns)
+    return result
+
+
 def run_experiment(key: str, **kwargs) -> ExperimentResult:
     """Run one experiment by key (e.g. ``fig13``).
 
@@ -124,14 +142,4 @@ def run_experiment(key: str, **kwargs) -> ExperimentResult:
     params = inspect.signature(run).parameters
     accepted = {k: v for k, v in kwargs.items() if k in params}
     result = run(**accepted)
-    # Attach telemetry the runner harvested while executing *this*
-    # experiment's sweep (the last_experiment token guards against a
-    # runner reused across keys handing out stale metrics).
-    runner = kwargs.get("runner")
-    if (runner is not None
-            and getattr(runner, "last_experiment", None) == key):
-        if getattr(runner, "last_metrics", None) and not result.metrics:
-            result.metrics = dict(runner.last_metrics)
-        if getattr(runner, "last_breakdowns", None) and not result.breakdown:
-            result.breakdown = dict(runner.last_breakdowns)
-    return result
+    return attach_runner_telemetry(result, kwargs.get("runner"), key)

@@ -25,6 +25,11 @@ record shapes (validated by :mod:`repro.obs.schema`):
     One flow's FCT attribution
     (:func:`repro.analysis.latency.flow_breakdown`); written into
     ``--metrics-out`` files when ``--breakdown`` is active.
+``{"type": "campaign", "experiment": K, "name": N,
+   "groups": [{"name": G, "axis": A}, ...], "points": [...]}``
+    Header for a campaign run (``dcp-experiment campaign <name>``):
+    the campaign's parameter grid and the point ids it lowered to, so
+    a consumer can pivot the flat metrics records back into the grid.
 
 ``metrics_by_point`` maps point id -> the ``metrics`` payload produced
 by :meth:`repro.obs.registry.MetricsRegistry.to_payload`; for non-sweep
@@ -72,6 +77,22 @@ def write_metrics_jsonl(fh: TextIO, experiment: str,
         fh.write(_dump(record) + "\n")
         n += 1
     return n
+
+
+def campaign_record(experiment: str, name: str, groups: list[dict],
+                    point_ids: list[str]) -> dict[str, Any]:
+    """The campaign header record (plain args, so :mod:`repro.campaigns`
+    is only imported by callers that actually run campaigns)."""
+    return {"type": "campaign", "experiment": experiment, "name": name,
+            "groups": groups, "points": list(point_ids)}
+
+
+def write_campaign_jsonl(fh: TextIO, experiment: str, name: str,
+                         groups: list[dict], point_ids: list[str]) -> int:
+    """Write a campaign header record to ``fh``; returns lines written."""
+    fh.write(_dump(campaign_record(experiment, name, groups, point_ids))
+             + "\n")
+    return 1
 
 
 # ------------------------------------------------------------------- traces

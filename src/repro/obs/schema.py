@@ -71,6 +71,7 @@ _REQUIRED_KEYS = {
     "span": ("experiment", "point", "start_ns", "end_ns", "kind",
              "flow_id", "actor"),
     "breakdown": ("experiment", "point", "flow", "fct_ns", "components"),
+    "campaign": ("experiment", "name", "groups", "points"),
 }
 
 #: Interval kinds a span record may carry (repro.obs.spans.SPAN_KINDS).
@@ -123,6 +124,22 @@ def validate_record(record: object) -> list[str]:
         if record["end_ns"] < record["start_ns"]:
             errors.append(f"span interval inverted: "
                           f"[{record['start_ns']}, {record['end_ns']}]")
+    elif rtype == "campaign":
+        groups = record["groups"]
+        if not isinstance(groups, list) or not groups:
+            errors.append("campaign groups is not a non-empty list")
+        else:
+            for i, group in enumerate(groups):
+                if (not isinstance(group, dict)
+                        or not isinstance(group.get("name"), str)
+                        or not isinstance(group.get("axis"), str)):
+                    errors.append(f"campaign group {i} needs string "
+                                  "'name' and 'axis'")
+        points = record["points"]
+        if not isinstance(points, list) or not points \
+                or not all(isinstance(p, str) for p in points):
+            errors.append("campaign points is not a non-empty list "
+                          "of point ids")
     elif rtype == "breakdown":
         components = record["components"]
         if not isinstance(components, dict):

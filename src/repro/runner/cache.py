@@ -35,7 +35,8 @@ def default_cache_dir() -> Path:
 
 
 class ResultCache:
-    """Directory of ``<key>.json`` result envelopes, sharded two-deep."""
+    """Directory of ``<key>.json`` result envelopes, sharded one level
+    deep on the key's trailing two hash characters."""
 
     def __init__(self, root: Optional[Path] = None, enabled: bool = True) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
@@ -45,8 +46,8 @@ class ResultCache:
         self.stores = 0
 
     def _path(self, key: str) -> Path:
-        # Shard on the trailing hash characters so one experiment's
-        # points spread across subdirectories.
+        # Shard one directory level on the trailing two hash characters
+        # so one experiment's points spread across subdirectories.
         return self.root / key[-2:] / f"{key}.json"
 
     def get(self, key: str) -> Optional[Any]:
@@ -94,7 +95,14 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
     def clear(self) -> int:
-        """Delete every cached entry; returns the number removed."""
+        """Delete every cached entry; returns the number removed.
+
+        Also sweeps stale ``*.tmp`` files: a worker killed between
+        ``mkstemp`` and ``os.replace`` leaves its temp file behind, and
+        without this sweep those accumulate forever and keep the shard
+        ``rmdir`` below failing on every subsequent clear.  Stale temps
+        do not count toward the return value (they were never entries).
+        """
         removed = 0
         if not self.root.is_dir():
             return removed
@@ -102,6 +110,11 @@ class ResultCache:
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+        for tmp in self.root.glob("*/*.tmp"):
+            try:
+                tmp.unlink()
             except OSError:
                 pass
         for sub in self.root.iterdir():

@@ -31,35 +31,46 @@ class PoissonWorkload:
     hosts: Optional[list[int]] = None
     max_flows: Optional[int] = None
 
-    def generate(self, net: Network,
-                 on_complete: Optional[Callable[[Flow], None]] = None) -> list[Flow]:
-        """Pre-compute arrivals and open every flow on ``net``."""
+    def schedule(self, num_hosts: int, link_rate: float
+                 ) -> list[tuple[int, int, int, int]]:
+        """Pure arrival schedule: ``(src, dst, size_bytes, start_ns)``.
+
+        Depends only on the workload fields plus ``(num_hosts,
+        link_rate)``, so the campaign compiler can lay out flows before
+        any network exists; :meth:`generate` posts exactly this
+        schedule, draw for draw.
+        """
         if not 0 < self.load < 1:
             raise ValueError("load must be in (0, 1)")
         rng = random.Random(self.seed)
-        hosts = self.hosts if self.hosts is not None else list(
-            range(net.spec.num_hosts))
+        hosts = self.hosts if self.hosts is not None else list(range(num_hosts))
         if len(hosts) < 2:
             raise ValueError("need at least two hosts")
-        rate = net.spec.link_rate  # bits/ns
         mean_size = self.size_dist.mean_bytes()
-        lam = self.load * rate / (8 * mean_size) * len(hosts)  # flows per ns
-        flows: list[Flow] = []
+        lam = self.load * link_rate / (8 * mean_size) * len(hosts)  # flows/ns
+        arrivals: list[tuple[int, int, int, int]] = []
         t = 0.0
         while t < self.duration_ns:
             t += rng.expovariate(lam)
             if t >= self.duration_ns:
                 break
-            if self.max_flows is not None and len(flows) >= self.max_flows:
+            if self.max_flows is not None and len(arrivals) >= self.max_flows:
                 break
             src = rng.choice(hosts)
             dst = rng.choice(hosts)
             while dst == src:
                 dst = rng.choice(hosts)
             size = self.size_dist.sample(rng)
-            flows.append(net.open_flow(src, dst, size, int(t), tag=self.tag,
-                                       on_complete=on_complete))
-        return flows
+            arrivals.append((src, dst, size, int(t)))
+        return arrivals
+
+    def generate(self, net: Network,
+                 on_complete: Optional[Callable[[Flow], None]] = None) -> list[Flow]:
+        """Pre-compute arrivals and open every flow on ``net``."""
+        return [net.open_flow(src, dst, size, start, tag=self.tag,
+                              on_complete=on_complete)
+                for src, dst, size, start in self.schedule(
+                    net.spec.num_hosts, net.spec.link_rate)]
 
 
 @dataclass
@@ -79,18 +90,18 @@ class IncastWorkload:
     seed: int = 2
     tag: str = "incast"
 
-    def generate(self, net: Network,
-                 on_complete: Optional[Callable[[Flow], None]] = None) -> list[Flow]:
+    def schedule(self, num_hosts: int, link_rate: float
+                 ) -> list[tuple[int, int, int, int]]:
+        """Pure arrival schedule mirroring :meth:`generate` draw for draw."""
         if not 0 < self.load < 1:
             raise ValueError("load must be in (0, 1)")
-        num_hosts = net.spec.num_hosts
         if self.fan_in >= num_hosts:
             raise ValueError("fan_in must be below the host count")
         rng = random.Random(self.seed)
         bytes_per_event = self.fan_in * self.flow_bytes
-        byte_rate = self.load * num_hosts * net.spec.link_rate / 8  # bytes/ns
+        byte_rate = self.load * num_hosts * link_rate / 8  # bytes/ns
         event_rate = byte_rate / bytes_per_event
-        flows: list[Flow] = []
+        arrivals: list[tuple[int, int, int, int]] = []
         t = 0.0
         while True:
             t += rng.expovariate(event_rate)
@@ -100,7 +111,12 @@ class IncastWorkload:
             senders = rng.sample([h for h in range(num_hosts) if h != receiver],
                                  self.fan_in)
             for s in senders:
-                flows.append(net.open_flow(s, receiver, self.flow_bytes, int(t),
-                                           tag=self.tag,
-                                           on_complete=on_complete))
-        return flows
+                arrivals.append((s, receiver, self.flow_bytes, int(t)))
+        return arrivals
+
+    def generate(self, net: Network,
+                 on_complete: Optional[Callable[[Flow], None]] = None) -> list[Flow]:
+        return [net.open_flow(src, dst, size, start, tag=self.tag,
+                              on_complete=on_complete)
+                for src, dst, size, start in self.schedule(
+                    net.spec.num_hosts, net.spec.link_rate)]

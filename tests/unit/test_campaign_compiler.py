@@ -1,0 +1,256 @@
+"""Campaign compilation: grid shapes, preset defaults, chaos, merge."""
+
+import pytest
+
+from repro.campaigns import (CampaignError, DEFAULT_METRICS, POINT_RUNNER,
+                             campaign_names, compile_campaign, get_campaign,
+                             merge_campaign)
+from repro.campaigns.spec import validate_campaign
+from repro.experiments.presets import get_preset
+from repro.runner.spec_hash import cache_key
+from repro.workload.flows import IncastWorkload, PoissonWorkload
+
+
+def tiny_spec(**overrides):
+    spec = {
+        "name": "tiny",
+        "topology": {"topology": "direct", "num_hosts": 2},
+        "workload": [{"kind": "flows", "name": "pair",
+                      "flows": [[0, 1, 5000, 0]]}],
+        "groups": [{"name": "transport", "axis": "spec.transport",
+                    "values": ["gbn", "dcp"]}],
+    }
+    spec.update(overrides)
+    return spec
+
+
+class TestGrid:
+    def test_point_count_is_grid_product(self):
+        c = compile_campaign(tiny_spec(groups=[
+            {"name": "transport", "axis": "spec.transport",
+             "values": ["gbn", "dcp"]},
+            {"name": "mtu", "axis": "spec.mtu_payload",
+             "values": [500, 1000, 2000]},
+        ]), "quick")
+        assert len(c.points) == 6
+        # first group is the outer loop
+        assert [p.point_id for p in c.points[:3]] == [
+            "transport-gbn.mtu-500", "transport-gbn.mtu-1000",
+            "transport-gbn.mtu-2000"]
+
+    def test_assignments_follow_points(self):
+        c = compile_campaign(tiny_spec(), "quick")
+        assert c.assignments == ({"transport": "gbn"}, {"transport": "dcp"})
+        assert [p.spec.transport for p in c.points] == ["gbn", "dcp"]
+
+    def test_key_and_metrics_defaults(self):
+        c = compile_campaign(tiny_spec(), "quick")
+        assert c.key == "campaign-tiny"
+        assert c.metrics == DEFAULT_METRICS
+        assert POINT_RUNNER == "repro.runner.points.simulate_flows"
+
+    def test_preset_fills_topology(self):
+        spec = tiny_spec(topology={"topology": "clos"})
+        quick = compile_campaign(spec, "quick").points[0].spec
+        full = compile_campaign(spec, "full").points[0].spec
+        assert quick.num_hosts == get_preset("quick").num_hosts
+        assert full.num_hosts == get_preset("full").num_hosts
+        assert quick.num_hosts != full.num_hosts
+
+    def test_campaign_topology_beats_preset(self):
+        c = compile_campaign(tiny_spec(), "full")
+        assert c.points[0].spec.num_hosts == 2
+
+    def test_campaign_seed_reaches_network_spec(self):
+        c = compile_campaign(tiny_spec(seed=77), "quick")
+        assert all(p.spec.seed == 77 for p in c.points)
+
+    def test_sim_axis_reaches_params(self):
+        c = compile_campaign(tiny_spec(groups=[
+            {"name": "ev", "axis": "sim.max_events",
+             "values": [1000, 2000]}]), "quick")
+        assert [p.params["max_events"] for p in c.points] == [1000, 2000]
+
+
+class TestCrossChecks:
+    def test_unknown_transport_value(self):
+        spec = tiny_spec(groups=[
+            {"name": "t", "axis": "spec.transport", "values": ["warp"]}])
+        with pytest.raises(CampaignError) as exc:
+            compile_campaign(spec, "quick")
+        assert "unknown transport" in str(exc.value)
+
+    def test_flow_host_out_of_range(self):
+        spec = tiny_spec(workload=[
+            {"kind": "flows", "flows": [[0, 5, 1000, 0]]}])
+        with pytest.raises(CampaignError) as exc:
+            compile_campaign(spec, "quick")
+        assert "out of range" in str(exc.value)
+
+    def test_incast_fan_in_too_large(self):
+        spec = tiny_spec(workload=[
+            {"kind": "incast", "load": 0.1, "fan_in": 8}])
+        with pytest.raises(CampaignError) as exc:
+            compile_campaign(spec, "quick")
+        assert "fan_in" in str(exc.value)
+
+    def test_chaos_override_must_fit_swept_scenario(self):
+        # The scenario axis swaps in pfc_storm, which has no loss_rate.
+        spec = tiny_spec(
+            topology={"topology": "testbed", "num_hosts": 4,
+                      "cross_links": 1},
+            chaos={"scenario": "loss_burst", "loss_rate": 0.2},
+            groups=[{"name": "s", "axis": "chaos.scenario",
+                     "values": ["pfc_storm"]}])
+        with pytest.raises(CampaignError) as exc:
+            compile_campaign(spec, "quick")
+        assert "does not apply" in str(exc.value)
+
+
+class TestChaosCompilation:
+    def chaos_spec(self, **chaos):
+        return tiny_spec(
+            topology={"topology": "testbed", "num_hosts": 4,
+                      "cross_links": 1},
+            workload=[{"kind": "flows",
+                       "flows": [[0, 2, 5000, 0]]}],
+            chaos={"scenario": "loss_burst", **chaos})
+
+    def test_chaos_reaches_params(self):
+        c = compile_campaign(self.chaos_spec(loss_rate=0.25), "quick")
+        for p in c.points:
+            assert p.params["chaos"]["name"] == "loss_burst"
+            assert p.params["chaos"]["events"][0]["loss_rate"] == 0.25
+
+    def test_scenario_none_means_no_chaos_param(self):
+        spec = self.chaos_spec()
+        spec["groups"] = [{"name": "s", "axis": "chaos.scenario",
+                           "values": ["loss_burst", "none"]}]
+        c = compile_campaign(spec, "quick")
+        assert "chaos" in c.points[0].params
+        assert "chaos" not in c.points[1].params
+
+    def test_chaos_hashes_into_cache_key(self):
+        base = compile_campaign(self.chaos_spec(loss_rate=0.2), "quick")
+        varied = compile_campaign(self.chaos_spec(loss_rate=0.4), "quick")
+        for a, b in zip(base.points, varied.points):
+            assert a.point_id == b.point_id
+            assert (cache_key(base.key, a.point_id, a.spec, a.params)
+                    != cache_key(varied.key, b.point_id, b.spec, b.params))
+
+
+class TestLayerLayout:
+    def test_bursting_is_synchronized(self):
+        spec = tiny_spec(
+            topology={"topology": "clos", "num_hosts": 4, "num_leaves": 2,
+                      "num_spines": 2},
+            workload=[{"kind": "bursting", "burst_bytes": 1000,
+                       "period_ns": 100, "bursts": 2}])
+        flows = compile_campaign(spec, "quick").points[0].params["flows"]
+        assert len(flows) == 8          # 4 hosts x 2 bursts
+        starts = sorted({f[3] for f in flows})
+        assert starts == [0, 100]       # all senders share each burst time
+        assert all(f[0] != f[1] and f[2] == 1000 for f in flows)
+
+    def test_alltoall_covers_all_pairs(self):
+        spec = tiny_spec(
+            topology={"topology": "clos", "num_hosts": 4, "num_leaves": 2,
+                      "num_spines": 2},
+            workload=[{"kind": "alltoall", "total_bytes": 24_000,
+                       "start_ns": 50}])
+        flows = compile_campaign(spec, "quick").points[0].params["flows"]
+        assert len(flows) == 12         # 4*3 ordered pairs
+        assert {(f[0], f[1]) for f in flows} == {
+            (a, b) for a in range(4) for b in range(4) if a != b}
+        assert all(f[2] == 2000 and f[3] == 50 for f in flows)
+
+    def test_layers_post_in_order(self):
+        spec = tiny_spec(workload=[
+            {"kind": "flows", "name": "a", "flows": [[0, 1, 100, 0]]},
+            {"kind": "flows", "name": "b", "flows": [[1, 0, 200, 0]]}])
+        flows = compile_campaign(spec, "quick").points[0].params["flows"]
+        assert [f[2] for f in flows] == [100, 200]
+
+    def test_poisson_layer_matches_workload_schedule(self):
+        # The compiled layout must equal what PoissonWorkload.schedule
+        # itself produces for the derived layer seed.
+        spec = tiny_spec(
+            topology={"topology": "clos"},
+            workload=[{"kind": "poisson", "name": "bg", "load": 0.2,
+                       "seed": 123, "max_flows": 20}])
+        c = compile_campaign(spec, "quick")
+        preset = get_preset("quick")
+        from repro.workload.distributions import websearch
+        wl = PoissonWorkload(load=0.2, size_dist=websearch(preset.ws_scale),
+                             duration_ns=preset.duration_ns, seed=123,
+                             max_flows=20)
+        expected = [list(f) for f in wl.schedule(preset.num_hosts,
+                                                 preset.link_rate)]
+        assert c.points[0].params["flows"] == expected
+
+    def test_incast_layer_matches_workload_schedule(self):
+        spec = tiny_spec(
+            topology={"topology": "clos"},
+            workload=[{"kind": "incast", "name": "in", "load": 0.1,
+                       "fan_in": 4, "seed": 9}])
+        c = compile_campaign(spec, "quick")
+        preset = get_preset("quick")
+        wl = IncastWorkload(load=0.1, fan_in=4,
+                            flow_bytes=preset.incast_flow_bytes,
+                            duration_ns=preset.duration_ns, seed=9)
+        expected = [list(f) for f in wl.schedule(preset.num_hosts,
+                                                 preset.link_rate)]
+        assert c.points[0].params["flows"] == expected
+
+
+class TestMerge:
+    def payload(self, n_flows=1, fct_ns=10_000):
+        return {"flows": [{"src": 0, "dst": 1, "size_bytes": 1000,
+                           "start_ns": 0, "completed": True,
+                           "fct_ns": fct_ns, "goodput_gbps": 2.0,
+                           "rx_bytes": 1000, "retx_pkts": 1, "timeouts": 0,
+                           "dup_pkts_received": 0}] * n_flows,
+                "events": 50, "end_ns": 20_000, "metrics": {}}
+
+    def test_merge_rows_carry_assignments_and_metrics(self):
+        c = compile_campaign(tiny_spec(), "quick")
+        result = merge_campaign(c, [self.payload(), self.payload()])
+        assert len(result.rows) == 2
+        row = result.rows[0]
+        assert row["transport"] == "gbn"
+        assert row["flows"] == 1
+        assert row["completed"] == "1/1"
+        assert row["retx"] == 1
+
+    def test_merge_length_mismatch(self):
+        c = compile_campaign(tiny_spec(), "quick")
+        with pytest.raises(ValueError):
+            merge_campaign(c, [self.payload()])
+
+
+class TestLibrary:
+    def test_every_library_campaign_compiles_everywhere(self):
+        for name in campaign_names():
+            for preset in ("quick", "default"):
+                c = compile_campaign(get_campaign(name), preset)
+                assert c.points, name
+                assert len(c.assignments) == len(c.points)
+
+    def test_library_specs_validate(self):
+        for name in campaign_names():
+            validate_campaign(get_campaign(name))
+
+    def test_incast_backpressure_meets_acceptance_grid(self):
+        c = compile_campaign(get_campaign("incast_backpressure"), "quick")
+        fanins = {a["fanin"] for a in c.assignments}
+        transports = {a["transport"] for a in c.assignments}
+        assert len(fanins) >= 3
+        assert len(transports) >= 3
+        assert len(c.points) == len(fanins) * len(transports)
+
+    def test_soak_covers_all_transports(self):
+        from repro.experiments.common import _transport_registry
+        c = compile_campaign(get_campaign("link_integrity_soak"), "quick")
+        assert ({a["transport"] for a in c.assignments}
+                == set(_transport_registry()))
+        assert all("chaos" in p.params for p in c.points)

@@ -124,6 +124,26 @@ class TestResultCache:
         assert len(cache) == 0
         assert cache.get("key0") is None
 
+    def test_clear_sweeps_stale_tmp_files(self, tmp_path):
+        # A worker killed between mkstemp and os.replace leaves a .tmp
+        # behind; clear() must remove it so the shard rmdir succeeds
+        # (regression: stale temps accumulated forever and kept every
+        # subsequent clear() from pruning the directory).
+        cache = ResultCache(root=tmp_path)
+        cache.put("deadbeef", {"x": 1})
+        shard = cache._path("deadbeef").parent
+        (shard / "orphan001.tmp").write_text("{", encoding="utf-8")
+        assert cache.clear() == 1      # temps are not counted as entries
+        assert not shard.exists()      # stale temp gone -> rmdir worked
+        assert len(cache) == 0
+
+    def test_clear_is_idempotent_after_stale_tmp_sweep(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put("cafef00d", {"x": 1})
+        (cache._path("cafef00d").parent / "x.tmp").write_text("")
+        cache.clear()
+        assert cache.clear() == 0
+
 
 # --------------------------------------------------------------- runner
 class TestExperimentRunner:
