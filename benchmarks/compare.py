@@ -1,16 +1,29 @@
-"""Compare two ``bench_hotpath`` records; exit 1 on regression.
+"""Compare two ``bench_hotpath`` files; exit 1 on regression.
 
 ::
 
     python benchmarks/compare.py BENCH_hotpath.json current.json
     python benchmarks/compare.py BENCH_hotpath.json current.json \
         --max-regression 2.0     # loose cross-machine bound (CI)
+    python benchmarks/compare.py BENCH_hotpath.json current.json \
+        --relative-floor array:ref:0.9   # array must keep >=0.9x of ref
 
-A *regression* is the current record being slower than the baseline by
+Both files hold a list of per-backend records (a single legacy record
+is accepted and treated as the ``ref`` backend).  Each current record
+is compared against the baseline record *of the same backend*; a
+backend present on one side but not the other is a hard input error
+with a message naming the backend — never a silent skip or a KeyError.
+
+A *regression* is the current record being slower than its baseline by
 more than the allowed factor: wall time higher, or event/packet rates
 lower.  The default factor of 1.2 (±20 %) absorbs normal same-machine
 noise; CI runs on shared machines of unknown speed and uses 2.0.
 Improvements never fail, and are reported the same way.
+
+``--relative-floor A:B:F`` additionally checks the *current* records
+against each other: backend A must be no slower than F times backend B
+on every metric.  This is a same-run comparison, so it is machine-noise
+free and safe at tight factors.
 
 No third-party dependencies — plain stdlib, so it runs anywhere the
 repo does.
@@ -34,34 +47,123 @@ class CompareError(Exception):
     """A record is unusable (missing key, bad value) — not a regression."""
 
 
-def compare(baseline: dict, current: dict,
-            max_regression: float) -> list[str]:
-    """Return a list of human-readable failures (empty when clean).
+def _by_backend(records, label: str) -> dict[str, dict]:
+    """Index a benchmark file's records by backend name.
 
-    Raises :class:`CompareError` when either record is missing a metric
-    or carries a non-positive value: that is a broken input, not a
-    performance verdict, and callers must not conflate the two.
+    Accepts the current list-of-records layout and the legacy single
+    record (which predates kernel backends and is treated as ``ref``).
     """
+    if isinstance(records, dict):
+        records = [records]
+    if not isinstance(records, list):
+        raise CompareError(
+            f"{label} file is not a benchmark record list "
+            f"(expected a JSON array of per-backend objects)")
+    out: dict[str, dict] = {}
+    for record in records:
+        if not isinstance(record, dict):
+            raise CompareError(f"{label} file contains a non-object record")
+        backend = record.get("backend", "ref")
+        if backend in out:
+            raise CompareError(
+                f"{label} file has duplicate records for backend "
+                f"{backend!r} — regenerate it with "
+                f"benchmarks/bench_hotpath.py")
+        out[backend] = record
+    if not out:
+        raise CompareError(f"{label} file contains no records")
+    return out
+
+
+def _metric(record: dict, name: str, label: str) -> float:
+    if name not in record:
+        raise CompareError(
+            f"{label} record lacks metric {name!r} — regenerate it "
+            f"with benchmarks/bench_hotpath.py")
+    value = float(record[name])
+    if value <= 0:
+        raise CompareError(f"{name}: non-positive value in {label} ({value})")
+    return value
+
+
+def compare_record(baseline: dict, current: dict, max_regression: float,
+                   backend: str) -> list[str]:
+    """Compare one backend's records; returns failures (empty = clean)."""
     failures = []
     for name, higher_is_better in METRICS.items():
-        for label, record in (("baseline", baseline), ("current", current)):
-            if name not in record:
-                raise CompareError(
-                    f"{label} record lacks metric {name!r} — regenerate it "
-                    f"with benchmarks/bench_hotpath.py")
-        base, cur = float(baseline[name]), float(current[name])
-        if base <= 0 or cur <= 0:
-            raise CompareError(f"{name}: non-positive value "
-                               f"(baseline={base}, current={cur})")
+        base = _metric(baseline, name, f"baseline[{backend}]")
+        cur = _metric(current, name, f"current[{backend}]")
         # Normalise so ratio > 1 always means "current is slower".
         ratio = base / cur if higher_is_better else cur / base
         verdict = "REGRESSION" if ratio > max_regression else "ok"
         arrow = "slower" if ratio > 1 else "faster"
-        print(f"{name:22s} base={base:<12g} cur={cur:<12g} "
+        print(f"{backend:6s} {name:22s} base={base:<12g} cur={cur:<12g} "
               f"{ratio:5.2f}x {arrow}  [{verdict}]")
         if ratio > max_regression:
-            failures.append(f"{name}: {ratio:.2f}x slower than baseline "
-                            f"(allowed {max_regression:.2f}x)")
+            failures.append(
+                f"{backend}/{name}: {ratio:.2f}x slower than baseline "
+                f"(allowed {max_regression:.2f}x)")
+    return failures
+
+
+def compare(baseline, current, max_regression: float) -> list[str]:
+    """Compare every current backend against its baseline record.
+
+    Raises :class:`CompareError` on unusable input — unknown backends,
+    missing metrics, bad values: broken input is not a performance
+    verdict, and callers must not conflate the two.
+    """
+    base_by = _by_backend(baseline, "baseline")
+    cur_by = _by_backend(current, "current")
+    unknown = sorted(set(cur_by) - set(base_by))
+    if unknown:
+        raise CompareError(
+            f"current file measures backend(s) with no committed baseline: "
+            f"{', '.join(unknown)} (baseline has: "
+            f"{', '.join(sorted(base_by))}) — add baseline records with "
+            f"benchmarks/bench_hotpath.py --kernels {','.join(unknown)}")
+    failures = []
+    for backend in sorted(cur_by):
+        failures += compare_record(base_by[backend], cur_by[backend],
+                                   max_regression, backend)
+    return failures
+
+
+def relative_floor(current, spec: str) -> list[str]:
+    """Check backend A vs backend B within the *current* run.
+
+    ``spec`` is ``A:B:F``: backend A must be no slower than F times
+    backend B on every metric (F < 1 allows A to be slightly slower,
+    F = 1 requires parity or better).
+    """
+    try:
+        fast, slow, factor_s = spec.split(":")
+        factor = float(factor_s)
+    except ValueError:
+        raise CompareError(
+            f"bad --relative-floor {spec!r} (expected A:B:FACTOR, "
+            f"e.g. array:ref:0.9)")
+    if factor <= 0:
+        raise CompareError("--relative-floor factor must be > 0")
+    cur_by = _by_backend(current, "current")
+    for backend in (fast, slow):
+        if backend not in cur_by:
+            raise CompareError(
+                f"--relative-floor backend {backend!r} not measured in "
+                f"current file (has: {', '.join(sorted(cur_by))})")
+    failures = []
+    for name, higher_is_better in METRICS.items():
+        a = _metric(cur_by[fast], name, f"current[{fast}]")
+        b = _metric(cur_by[slow], name, f"current[{slow}]")
+        # Speed of A relative to B; > 1 means A is faster.
+        speed = a / b if higher_is_better else b / a
+        verdict = "BELOW FLOOR" if speed < factor else "ok"
+        print(f"floor  {name:22s} {fast}={a:<12g} {slow}={b:<12g} "
+              f"{speed:5.2f}x  [{verdict}]")
+        if speed < factor:
+            failures.append(
+                f"{fast}/{name}: {speed:.2f}x of {slow} "
+                f"(floor {factor:.2f}x)")
     return failures
 
 
@@ -72,7 +174,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-regression", type=float, default=1.2,
                         metavar="FACTOR",
                         help="fail when current is more than FACTOR times "
-                             "slower than baseline (default: 1.2)")
+                             "slower than its baseline (default: 1.2)")
+    parser.add_argument("--relative-floor", default=None, metavar="A:B:F",
+                        help="additionally require current backend A to be "
+                             "no slower than F times current backend B "
+                             "(e.g. array:ref:0.9)")
     args = parser.parse_args(argv)
     if args.max_regression <= 1.0:
         parser.error("--max-regression must be > 1.0")
@@ -91,14 +197,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {label} file {path} is not valid JSON: {exc}",
                   file=sys.stderr)
             return 2
-        if not isinstance(records[label], dict):
-            print(f"error: {label} file {path} is not a benchmark record "
-                  f"(expected a JSON object)", file=sys.stderr)
-            return 2
 
     try:
         failures = compare(records["baseline"], records["current"],
                            args.max_regression)
+        if args.relative_floor:
+            failures += relative_floor(records["current"], args.relative_floor)
     except CompareError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -20,6 +20,7 @@ cancelled and the in-flight packet finishes through the serial
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
 from typing import Callable, Optional
 
 from repro.net.link import Link
@@ -152,15 +153,16 @@ class EgressPort:
             when = sim.now + ser
             times.append(when)
             items = [(ser, slot, ())]
-            delay = ser
-            for nxt in q._items:
-                if len(items) >= _PORT_BURST:
-                    break
-                if rate:
-                    s2 = -(-nxt.size_bytes * 8 // rate)
-                else:
-                    s2 = serialization_ns(nxt.size_bytes, self.rate)
-                delay += s2
+            if n > _PORT_BURST - 1:
+                followers = [p.size_bytes
+                             for p in islice(q._items, _PORT_BURST - 1)]
+            else:
+                followers = [p.size_bytes for p in q._items]
+            # The kernel owns the cumulative serialization arithmetic
+            # (the array backend vectorizes it); follower delays ride on
+            # top of the leader's slot.
+            for d in sim.kernel.departure_delays(followers, rate, self.rate):
+                delay = ser + d
                 times.append(sim.now + delay)
                 items.append((delay, slot, ()))
             if len(items) > 1:

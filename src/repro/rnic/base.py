@@ -265,23 +265,17 @@ class RestartableTimer:
         return self._token is not None and not self._token.cancelled
 
     def restart(self, delay_ns: int) -> None:
-        # cancel() inlined: this runs once per ACK on every transport.
+        # token.cancel() handles the kernel's dead-entry accounting;
+        # this runs once per ACK on every transport.
         token = self._token
-        if token is not None and not token.cancelled:
-            token.cancelled = True
-            sim = token._sim
-            if sim is not None:
-                sim._heap_dead += 1
+        if token is not None:
+            token.cancel()
         self._token = self.sim.schedule(delay_ns, self._fire)
 
     def cancel(self) -> None:
         token = self._token
         if token is not None:
-            if not token.cancelled:
-                token.cancelled = True
-                sim = token._sim
-                if sim is not None:
-                    sim._heap_dead += 1
+            token.cancel()
             self._token = None
 
     def _fire(self) -> None:
@@ -508,15 +502,13 @@ class HostNic:
             gdq.pop()          # the final gate is already on the QP
             self._burst_gates = gdq
         else:
-            delay = 0
-            for p in out:
-                if rate:
-                    ser = -(-p.size_bytes * 8 // rate)
-                else:
-                    ser = serialization_ns(p.size_bytes, self.rate)
-                delay += ser
-                times.append(now + delay)
-                items.append((delay, slot, ()))
+            # Back-to-back train: the kernel owns the cumulative
+            # serialization arithmetic (the array backend vectorizes it).
+            delays = sim.kernel.departure_delays(
+                [p.size_bytes for p in out], rate, self.rate)
+            for d in delays:
+                times.append(now + d)
+                items.append((d, slot, ()))
         token = CancelledToken()
         sim.call_after_bulk(items, token)
         self._burst_token = token

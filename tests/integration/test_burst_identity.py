@@ -21,10 +21,24 @@ import json
 import pytest
 
 from repro.chaos.scenarios import get_scenario
+from repro.experiments import fig8_basic_perf as fig8
 from repro.experiments import robustness
 from repro.experiments.common import NetworkSpec
 from repro.experiments.presets import get_preset
+from repro.runner import ExperimentRunner, ResultCache
 from repro.runner.points import simulate_flows
+
+try:
+    import numpy  # noqa: F401
+    _HAVE_NUMPY = True
+except ImportError:
+    _HAVE_NUMPY = False
+
+_needs_array = pytest.mark.skipif(
+    not _HAVE_NUMPY, reason="numpy not installed ([kernel] extra)")
+
+#: Event-kernel backends (REPRO_KERNEL) — the newest identity axis.
+KERNELS = ("ref", "array")
 
 #: sdr and rifl declare ``supports_burst = False``: under REPRO_BURST=1
 #: the engine's burst poll must detect that and take the serial
@@ -41,10 +55,11 @@ GATE_MATRIX = (
 )
 
 
-def _run(monkeypatch, burst, pool, debug, spec, params):
+def _run(monkeypatch, burst, pool, debug, spec, params, kernel="ref"):
     monkeypatch.setenv("REPRO_BURST", burst)
     monkeypatch.setenv("REPRO_PACKET_POOL", pool)
     monkeypatch.setenv("REPRO_PACKET_POOL_DEBUG", debug)
+    monkeypatch.setenv("REPRO_KERNEL", kernel)
     payload = simulate_flows(spec, params)
     # Canonical form so a mismatch diffs cleanly in pytest output.
     return json.dumps(payload, sort_keys=True, default=str)
@@ -95,3 +110,97 @@ def test_burst_identity_link_flap(monkeypatch):
     off = _run(monkeypatch, "0", "1", "", spec, params)
     on = _run(monkeypatch, "1", "1", "", spec, params)
     assert on == off
+
+
+# --------------------------------------------- kernel backend identity axis
+
+@_needs_array
+@pytest.mark.kernel_array
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_kernel_axis_direct_matrix(monkeypatch, transport):
+    """REPRO_KERNEL=array matches ref bit for bit across the whole
+    burst x pool gate matrix on the clean direct point."""
+    spec = _direct_spec(transport)
+    params = {"flows": [[0, 1, 1_000_000, 0]], "max_events": 50_000_000}
+    for gates in GATE_MATRIX:
+        ref = _run(monkeypatch, *gates, spec, params, kernel="ref")
+        arr = _run(monkeypatch, *gates, spec, params, kernel="array")
+        assert arr == ref, f"kernel divergence under gates {gates}"
+
+
+@_needs_array
+@pytest.mark.kernel_array
+@pytest.mark.parametrize("transport", ("dcp", "gbn"))
+def test_kernel_axis_lossy_clos(monkeypatch, transport):
+    """Injected loss drives retransmission timers through the far store
+    (heap / record array); the kernels must not diverge."""
+    spec = NetworkSpec(transport=transport, topology="clos", num_hosts=4,
+                       link_rate=100.0, host_link_delay_ns=500,
+                       window_bytes=262_144, loss_rate=0.01)
+    params = {"flows": [[0, 2, 300_000, 0], [1, 3, 300_000, 0]],
+              "max_events": 50_000_000}
+    for burst in ("0", "1"):
+        ref = _run(monkeypatch, burst, "1", "", spec, params, kernel="ref")
+        arr = _run(monkeypatch, burst, "1", "", spec, params, kernel="array")
+        assert arr == ref, f"kernel divergence with REPRO_BURST={burst}"
+
+
+@_needs_array
+@pytest.mark.kernel_array
+def test_kernel_axis_chaos_link_flap(monkeypatch):
+    """Chaos forces the serial slow path; the kernel axis must still be
+    payload-invisible there."""
+    quick = get_preset("quick")
+    spec = robustness._spec("dcp", quick)
+    flow_bytes = robustness._flow_bytes(quick)
+    params = {"flows": [[0, 2, flow_bytes, 0], [1, 3, flow_bytes, 10_000]],
+              "max_events": 60_000_000,
+              "chaos": get_scenario("link_flap")}
+    ref = _run(monkeypatch, "1", "1", "", spec, params, kernel="ref")
+    arr = _run(monkeypatch, "1", "1", "", spec, params, kernel="array")
+    assert arr == ref
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fig8_quick_serial_jobs_replay_per_kernel(monkeypatch, tmp_path,
+                                                  kernel):
+    """serial == --jobs 2 == cache replay, bit for bit, on each backend;
+    replay executes nothing."""
+    if kernel == "array" and not _HAVE_NUMPY:
+        pytest.skip("numpy not installed ([kernel] extra)")
+    monkeypatch.setenv("REPRO_KERNEL", kernel)
+    serial = ExperimentRunner(jobs=1, cache=ResultCache(enabled=False))
+    r_serial = fig8.run("quick", runner=serial)
+
+    cache_root = tmp_path / "cache"
+    par = ExperimentRunner(jobs=2, cache=ResultCache(root=cache_root))
+    r_par = fig8.run("quick", runner=par)
+
+    replay = ExperimentRunner(jobs=2, cache=ResultCache(root=cache_root))
+    r_replay = fig8.run("quick", runner=replay)
+    assert replay.simulations_executed == 0
+
+    assert r_serial.rows == r_par.rows == r_replay.rows
+
+
+@_needs_array
+@pytest.mark.kernel_array
+def test_fig8_quick_cross_kernel_cache_replay(monkeypatch, tmp_path):
+    """A cache warmed under ref replays under array with zero executions
+    and identical rows: REPRO_KERNEL must not enter the cache key, and
+    payloads must not move between backends."""
+    cache_root = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_KERNEL", "ref")
+    warm = ExperimentRunner(jobs=1, cache=ResultCache(root=cache_root))
+    r_ref = fig8.run("quick", runner=warm)
+
+    monkeypatch.setenv("REPRO_KERNEL", "array")
+    replay = ExperimentRunner(jobs=2, cache=ResultCache(root=cache_root))
+    r_arr = fig8.run("quick", runner=replay)
+    assert replay.simulations_executed == 0
+    assert r_arr.rows == r_ref.rows
+
+    # And a cold array run reproduces the ref rows from scratch.
+    fresh = ExperimentRunner(jobs=1, cache=ResultCache(enabled=False))
+    r_cold = fig8.run("quick", runner=fresh)
+    assert r_cold.rows == r_ref.rows
