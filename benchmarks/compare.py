@@ -1,18 +1,22 @@
-"""Compare two ``bench_hotpath`` files; exit 1 on regression.
+"""Compare two benchmark files; exit 1 on regression.
 
 ::
 
     python benchmarks/compare.py BENCH_hotpath.json current.json
-    python benchmarks/compare.py BENCH_hotpath.json current.json \
+    python benchmarks/compare.py BENCH_scale.json current.json \
         --max-regression 2.0     # loose cross-machine bound (CI)
     python benchmarks/compare.py BENCH_hotpath.json current.json \
         --relative-floor array:ref:0.9   # array must keep >=0.9x of ref
 
-Both files hold a list of per-backend records (a single legacy record
-is accepted and treated as the ``ref`` backend).  Each current record
-is compared against the baseline record *of the same backend*; a
-backend present on one side but not the other is a hard input error
-with a message naming the backend — never a silent skip or a KeyError.
+Both files hold a list of benchmark records.  Records are matched by
+the tuple ``(benchmark, backend, fidelity, hosts)`` — ``hotpath``
+records carry only the first two fields, ``scale`` records all four —
+and each benchmark has its own metric set
+(:data:`METRICS_BY_BENCHMARK`).  A record present in the current file
+with no committed baseline is a hard input error naming the missing
+key; a baseline record the current run did not measure is skipped (CI
+measures a subset of the committed grid — e.g. the 256-host scale
+point stays baseline-only on pull requests).
 
 A *regression* is the current record being slower than its baseline by
 more than the allowed factor: wall time higher, or event/packet rates
@@ -22,8 +26,9 @@ Improvements never fail, and are reported the same way.
 
 ``--relative-floor A:B:F`` additionally checks the *current* records
 against each other: backend A must be no slower than F times backend B
-on every metric.  This is a same-run comparison, so it is machine-noise
-free and safe at tight factors.
+on every metric, within every ``(benchmark, fidelity, hosts)`` group
+where both backends were measured.  This is a same-run comparison, so
+it is machine-noise free and safe at tight factors.
 
 No third-party dependencies — plain stdlib, so it runs anywhere the
 repo does.
@@ -35,11 +40,17 @@ import argparse
 import json
 import sys
 
-#: metric -> True when larger is better.
-METRICS = {
-    "fig8_quick_wall_s": False,
-    "events_per_sec": True,
-    "packets_per_sec": True,
+#: benchmark -> {metric -> True when larger is better}.
+METRICS_BY_BENCHMARK = {
+    "hotpath": {
+        "fig8_quick_wall_s": False,
+        "events_per_sec": True,
+        "packets_per_sec": True,
+    },
+    "scale": {
+        "wall_s": False,
+        "events_per_sec": True,
+    },
 }
 
 
@@ -47,8 +58,42 @@ class CompareError(Exception):
     """A record is unusable (missing key, bad value) — not a regression."""
 
 
-def _by_backend(records, label: str) -> dict[str, dict]:
-    """Index a benchmark file's records by backend name.
+def record_key(record: dict) -> tuple:
+    """``(benchmark, backend, fidelity, hosts)`` identity of a record.
+
+    Legacy hotpath records predate the ``benchmark`` / ``fidelity`` /
+    ``hosts`` fields; they default to the values that keep old and new
+    files comparable.
+    """
+    return (record.get("benchmark", "hotpath"),
+            record.get("backend", "ref"),
+            record.get("fidelity", "-"),
+            int(record.get("hosts", 0)))
+
+
+def _fmt_key(key: tuple) -> str:
+    benchmark, backend, fidelity, hosts = key
+    label = f"{benchmark}/{backend}"
+    if fidelity != "-":
+        label += f"/{fidelity}"
+    if hosts:
+        label += f"/{hosts}h"
+    return label
+
+
+def _metrics_for(key: tuple) -> dict[str, bool]:
+    benchmark = key[0]
+    try:
+        return METRICS_BY_BENCHMARK[benchmark]
+    except KeyError:
+        raise CompareError(
+            f"record {_fmt_key(key)} has unknown benchmark "
+            f"{benchmark!r} (known: "
+            f"{', '.join(sorted(METRICS_BY_BENCHMARK))})") from None
+
+
+def _index(records, label: str) -> dict[tuple, dict]:
+    """Index a benchmark file's records by :func:`record_key`.
 
     Accepts the current list-of-records layout and the legacy single
     record (which predates kernel backends and is treated as ``ref``).
@@ -58,18 +103,17 @@ def _by_backend(records, label: str) -> dict[str, dict]:
     if not isinstance(records, list):
         raise CompareError(
             f"{label} file is not a benchmark record list "
-            f"(expected a JSON array of per-backend objects)")
-    out: dict[str, dict] = {}
+            f"(expected a JSON array of benchmark objects)")
+    out: dict[tuple, dict] = {}
     for record in records:
         if not isinstance(record, dict):
             raise CompareError(f"{label} file contains a non-object record")
-        backend = record.get("backend", "ref")
-        if backend in out:
+        key = record_key(record)
+        if key in out:
             raise CompareError(
-                f"{label} file has duplicate records for backend "
-                f"{backend!r} — regenerate it with "
-                f"benchmarks/bench_hotpath.py")
-        out[backend] = record
+                f"{label} file has duplicate records for {_fmt_key(key)} "
+                f"— regenerate it with the matching bench_* script")
+        out[key] = record
     if not out:
         raise CompareError(f"{label} file contains no records")
     return out
@@ -79,7 +123,7 @@ def _metric(record: dict, name: str, label: str) -> float:
     if name not in record:
         raise CompareError(
             f"{label} record lacks metric {name!r} — regenerate it "
-            f"with benchmarks/bench_hotpath.py")
+            f"with the matching bench_* script")
     value = float(record[name])
     if value <= 0:
         raise CompareError(f"{name}: non-positive value in {label} ({value})")
@@ -87,45 +131,49 @@ def _metric(record: dict, name: str, label: str) -> float:
 
 
 def compare_record(baseline: dict, current: dict, max_regression: float,
-                   backend: str) -> list[str]:
-    """Compare one backend's records; returns failures (empty = clean)."""
+                   key: tuple) -> list[str]:
+    """Compare one record pair; returns failures (empty = clean)."""
     failures = []
-    for name, higher_is_better in METRICS.items():
-        base = _metric(baseline, name, f"baseline[{backend}]")
-        cur = _metric(current, name, f"current[{backend}]")
+    name_tag = _fmt_key(key)
+    for name, higher_is_better in _metrics_for(key).items():
+        base = _metric(baseline, name, f"baseline[{name_tag}]")
+        cur = _metric(current, name, f"current[{name_tag}]")
         # Normalise so ratio > 1 always means "current is slower".
         ratio = base / cur if higher_is_better else cur / base
         verdict = "REGRESSION" if ratio > max_regression else "ok"
         arrow = "slower" if ratio > 1 else "faster"
-        print(f"{backend:6s} {name:22s} base={base:<12g} cur={cur:<12g} "
+        print(f"{name_tag:28s} {name:20s} base={base:<12g} cur={cur:<12g} "
               f"{ratio:5.2f}x {arrow}  [{verdict}]")
         if ratio > max_regression:
             failures.append(
-                f"{backend}/{name}: {ratio:.2f}x slower than baseline "
+                f"{name_tag}/{name}: {ratio:.2f}x slower than baseline "
                 f"(allowed {max_regression:.2f}x)")
     return failures
 
 
 def compare(baseline, current, max_regression: float) -> list[str]:
-    """Compare every current backend against its baseline record.
+    """Compare every current record against its baseline record.
 
-    Raises :class:`CompareError` on unusable input — unknown backends,
-    missing metrics, bad values: broken input is not a performance
-    verdict, and callers must not conflate the two.
+    Raises :class:`CompareError` on unusable input — unknown record
+    keys, missing metrics, bad values: broken input is not a
+    performance verdict, and callers must not conflate the two.
     """
-    base_by = _by_backend(baseline, "baseline")
-    cur_by = _by_backend(current, "current")
+    base_by = _index(baseline, "baseline")
+    cur_by = _index(current, "current")
     unknown = sorted(set(cur_by) - set(base_by))
     if unknown:
         raise CompareError(
-            f"current file measures backend(s) with no committed baseline: "
-            f"{', '.join(unknown)} (baseline has: "
-            f"{', '.join(sorted(base_by))}) — add baseline records with "
-            f"benchmarks/bench_hotpath.py --kernels {','.join(unknown)}")
+            f"current file measures record(s) with no committed baseline: "
+            f"{', '.join(_fmt_key(k) for k in unknown)} — add baseline "
+            f"records with the matching bench_* script")
+    skipped = sorted(set(base_by) - set(cur_by))
+    if skipped:
+        print(f"(baseline-only, skipped: "
+              f"{', '.join(_fmt_key(k) for k in skipped)})")
     failures = []
-    for backend in sorted(cur_by):
-        failures += compare_record(base_by[backend], cur_by[backend],
-                                   max_regression, backend)
+    for key in sorted(cur_by):
+        failures += compare_record(base_by[key], cur_by[key],
+                                   max_regression, key)
     return failures
 
 
@@ -134,7 +182,9 @@ def relative_floor(current, spec: str) -> list[str]:
 
     ``spec`` is ``A:B:F``: backend A must be no slower than F times
     backend B on every metric (F < 1 allows A to be slightly slower,
-    F = 1 requires parity or better).
+    F = 1 requires parity or better).  The check runs per
+    ``(benchmark, fidelity, hosts)`` group; at least one group must
+    contain both backends.
     """
     try:
         fast, slow, factor_s = spec.split(":")
@@ -145,25 +195,33 @@ def relative_floor(current, spec: str) -> list[str]:
             f"e.g. array:ref:0.9)")
     if factor <= 0:
         raise CompareError("--relative-floor factor must be > 0")
-    cur_by = _by_backend(current, "current")
-    for backend in (fast, slow):
-        if backend not in cur_by:
-            raise CompareError(
-                f"--relative-floor backend {backend!r} not measured in "
-                f"current file (has: {', '.join(sorted(cur_by))})")
+    cur_by = _index(current, "current")
+    groups = {}
+    for (benchmark, backend, fidelity, hosts), record in cur_by.items():
+        groups.setdefault((benchmark, fidelity, hosts), {})[backend] = record
+    pairs = [(g, by) for g, by in sorted(groups.items())
+             if fast in by and slow in by]
+    if not pairs:
+        raise CompareError(
+            f"--relative-floor backends {fast!r} and {slow!r} never "
+            f"measured together in current file (backends present: "
+            f"{', '.join(sorted({k[1] for k in cur_by}))})")
     failures = []
-    for name, higher_is_better in METRICS.items():
-        a = _metric(cur_by[fast], name, f"current[{fast}]")
-        b = _metric(cur_by[slow], name, f"current[{slow}]")
-        # Speed of A relative to B; > 1 means A is faster.
-        speed = a / b if higher_is_better else b / a
-        verdict = "BELOW FLOOR" if speed < factor else "ok"
-        print(f"floor  {name:22s} {fast}={a:<12g} {slow}={b:<12g} "
-              f"{speed:5.2f}x  [{verdict}]")
-        if speed < factor:
-            failures.append(
-                f"{fast}/{name}: {speed:.2f}x of {slow} "
-                f"(floor {factor:.2f}x)")
+    for (benchmark, fidelity, hosts), by in pairs:
+        tag = _fmt_key((benchmark, fast, fidelity, hosts))
+        for name, higher_is_better in _metrics_for(
+                (benchmark, fast, fidelity, hosts)).items():
+            a = _metric(by[fast], name, f"current[{tag}]")
+            b = _metric(by[slow], name, f"current[{slow}]")
+            # Speed of A relative to B; > 1 means A is faster.
+            speed = a / b if higher_is_better else b / a
+            verdict = "BELOW FLOOR" if speed < factor else "ok"
+            print(f"floor {tag:22s} {name:20s} {fast}={a:<12g} "
+                  f"{slow}={b:<12g} {speed:5.2f}x  [{verdict}]")
+            if speed < factor:
+                failures.append(
+                    f"{tag}/{name}: {speed:.2f}x of {slow} "
+                    f"(floor {factor:.2f}x)")
     return failures
 
 
@@ -190,8 +248,9 @@ def main(argv: list[str] | None = None) -> int:
                 records[label] = json.load(fh)
         except FileNotFoundError:
             print(f"error: {label} file not found: {path}\n"
-                  f"  (generate it with: python benchmarks/bench_hotpath.py "
-                  f"--out {path})", file=sys.stderr)
+                  f"  (generate it with the matching bench_* script, "
+                  f"e.g.: python benchmarks/bench_hotpath.py --out {path})",
+                  file=sys.stderr)
             return 2
         except json.JSONDecodeError as exc:
             print(f"error: {label} file {path} is not valid JSON: {exc}",

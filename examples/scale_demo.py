@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Hybrid fidelity at scale: a 256-host AI collective in under a second.
+
+The packet-level simulator models every byte; that fidelity costs wall
+time that grows with hosts x bandwidth.  The hybrid tier
+(``fidelity="hybrid"``, :mod:`repro.sim.fidelity`) runs uncontended
+flows through a closed-form fluid model and escalates a flow to
+packet-level the moment any falsifier fires — contention on a shared
+port, queue buildup, ECN, PFC pauses, injected loss, chaos.  On a
+fig14-style collective (one Ring-AllReduce per leaf) nothing ever
+contends, so the whole 256-host job runs analytically.
+
+Run:  PYTHONPATH=src python examples/scale_demo.py
+"""
+
+import time
+
+from repro.experiments.common import build_network
+from repro.workload.collective import run_grouped_collectives
+
+HOSTS = 256
+HOSTS_PER_LEAF = 8
+TOTAL_BYTES = 400_000  # per collective (scaled from the paper's 300 MB)
+
+
+def main() -> None:
+    leaves = HOSTS // HOSTS_PER_LEAF
+    print(f"{HOSTS} hosts, {leaves} leaves, one Ring-AllReduce per leaf "
+          f"({TOTAL_BYTES // 1000} KB each)\n")
+    print(f"{'fidelity':>8} {'wall':>8} {'events':>9} {'mean JCT':>10} "
+          f"{'max JCT':>10}")
+    for fidelity in ("hybrid",):
+        net = build_network(
+            transport="dcp", lb="ar", topology="clos",
+            num_hosts=HOSTS, num_leaves=leaves, num_spines=leaves // 2,
+            link_rate=10.0, seed=73, fidelity=fidelity)
+        t0 = time.perf_counter()
+        groups = run_grouped_collectives(net, "allreduce", leaves,
+                                         HOSTS_PER_LEAF, TOTAL_BYTES)
+        net.run_until_flows_done(max_events=400_000_000)
+        wall = time.perf_counter() - t0
+        jcts = [g.jct_ns() / 1e6 for g in groups]
+        print(f"{fidelity:>8} {wall:>7.2f}s {net.sim.events_processed:>9} "
+              f"{sum(jcts) / len(jcts):>9.3f}ms {max(jcts):>9.3f}ms")
+
+    summary = net.fidelity.summary()
+    print(f"\nfidelity controller: {summary['fluid_flows']} flows ran fluid, "
+          f"{summary['packet_flows']} packet-level, "
+          f"{summary['escalations']} escalations")
+    print(f"decision reasons: {summary['reasons']}")
+    escalated = [e for e in summary["log"] if e["action"] != "fluid"]
+    if escalated:
+        print("non-fluid decisions (first entries):")
+        for entry in escalated[:5]:
+            print(f"  {entry}")
+    else:
+        print("no escalations: every ring stays inside its leaf, so no two "
+              "flows ever\nshare an egress port — the fluid model's "
+              "closed-form schedule is exact here.")
+
+    print(f"\nA packet-level run of the same job costs ~{HOSTS // 8}x more "
+          f"events per host\ngroup; see `dcp-experiment scale` for the "
+          f"measured wall-time curve.")
+
+
+if __name__ == "__main__":
+    main()

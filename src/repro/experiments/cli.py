@@ -66,7 +66,8 @@ def build_telemetry(args: argparse.Namespace) -> dict | None:
 
 
 def build_runner(args: argparse.Namespace) -> ExperimentRunner:
-    cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache)
+    cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache,
+                        max_mb=args.cache_max_mb)
     return ExperimentRunner(jobs=args.jobs, cache=cache,
                             telemetry=build_telemetry(args))
 
@@ -105,6 +106,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="result cache location (default: ~/.cache/repro "
                              "or $REPRO_CACHE_DIR)")
+    parser.add_argument("--cache-max-mb", type=float, default=None,
+                        metavar="MB",
+                        help="bound the result cache directory; stores "
+                             "beyond the budget evict the oldest entries "
+                             "(default: unbounded)")
+    parser.add_argument("--fidelity", default=None,
+                        choices=("packet", "hybrid"),
+                        help="simulation fidelity for experiments that "
+                             "support it (fig13/fig14): 'packet' simulates "
+                             "every byte, 'hybrid' runs uncontended flows "
+                             "analytically (repro.sim.fidelity)")
     parser.add_argument("--clear-cache", action="store_true",
                         help="wipe the result cache, then proceed (or exit "
                              "if no experiment was given)")
@@ -151,6 +163,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.cache_max_mb is not None and args.cache_max_mb <= 0:
+        parser.error("--cache-max-mb must be > 0")
     if args.sample_interval_ns < 0:
         parser.error("--sample-interval-ns must be >= 0")
     if args.profile is not None and args.jobs != 1:
@@ -257,9 +271,14 @@ def main(argv: list[str] | None = None) -> int:
                         # accepts it (the robustness campaign);
                         # signature filtering in run_experiment drops it
                         # everywhere else.
+                        # ``chaos`` and ``fidelity`` only reach run()
+                        # signatures that accept them.
+                        kwargs = {}
+                        if args.fidelity is not None:
+                            kwargs["fidelity"] = args.fidelity
                         result = run_experiment(key, preset=args.preset,
                                                 runner=runner,
-                                                chaos=args.chaos)
+                                                chaos=args.chaos, **kwargs)
                 finally:
                     metrics.install(prev_reg)
                     trace.install(prev_tracer)

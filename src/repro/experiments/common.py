@@ -77,6 +77,10 @@ class NetworkSpec:
     pfc_headroom_frac: float = 0.25
     # loss injection
     loss_rate: float = 0.0
+    # fidelity tier: "packet" simulates every byte; "hybrid" runs
+    # uncontended flows analytically and escalates on falsifiers
+    # (see repro.sim.fidelity)
+    fidelity: str = "packet"
     # transport overrides
     transport_overrides: dict = field(default_factory=dict)
     # testbed-specific
@@ -128,6 +132,9 @@ class Network:
     """A fully wired simulated network ready to carry flows."""
 
     def __init__(self, spec: NetworkSpec) -> None:
+        if spec.fidelity not in ("packet", "hybrid"):
+            raise ValueError(f"unknown fidelity {spec.fidelity!r} "
+                             f"(expected 'packet' or 'hybrid')")
         self.spec = spec
         self.sim = Simulator()
         self.seeds = SeedSequence(spec.seed)
@@ -141,6 +148,10 @@ class Network:
             self.hosts.append(Host(self.sim, hid, nic, transport))
             self.transports.append(transport)
         self.fabric = self._build_fabric()
+        self.fidelity = None
+        if spec.fidelity == "hybrid":
+            from repro.sim.fidelity import FidelityController
+            self.fidelity = FidelityController(self)
         self.flows: list[Flow] = []
         self._pair_qps: dict[tuple[int, int], QueuePair] = {}
         self._next_flow_id = 0
@@ -335,6 +346,13 @@ class Network:
             qp.entropy = 2 * flow.flow_id
             peer.entropy = 2 * flow.flow_id + 1
         self.transports[dst].expect_flow(flow)
+        if self.fidelity is not None:
+            # Hybrid tier: the controller decides fluid vs packet at the
+            # flow's start time.  The packet branch below stays verbatim
+            # so fidelity="packet" remains bit-identical to before the
+            # hybrid tier existed.
+            self.fidelity.register(qp, flow)
+            return flow
         delay = start_ns - self.sim.now
         self.sim.schedule(max(0, delay),
                           lambda: self.transports[src].post_flow(qp, flow))

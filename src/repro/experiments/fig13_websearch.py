@@ -27,15 +27,15 @@ SCHEMES = (
 
 def run_scheme(label: str, transport: str, lb: str, load: float, preset,
                seed: int = 61, spine_delay_ns: int | None = None,
-               cc: str = "none",
-               buffer_override: int | None = None) -> Network:
+               cc: str = "none", buffer_override: int | None = None,
+               fidelity: str = "packet") -> Network:
     """One Fig 13/15 cell: a WebSearch run for one scheme at one load."""
     net = build_network(
         transport=transport, topology="clos", num_hosts=preset.num_hosts,
         num_leaves=preset.num_leaves, num_spines=preset.num_spines,
         link_rate=preset.link_rate, lb=lb, seed=seed, cc=cc,
         buffer_bytes=buffer_override or preset.buffer_bytes,
-        spine_link_delay_ns=spine_delay_ns or 1_000)
+        spine_link_delay_ns=spine_delay_ns or 1_000, fidelity=fidelity)
     wl = PoissonWorkload(load=load, size_dist=websearch(scale=preset.ws_scale),
                          duration_ns=preset.duration_ns, seed=seed,
                          max_flows=preset.max_flows)
@@ -44,14 +44,15 @@ def run_scheme(label: str, transport: str, lb: str, load: float, preset,
     return net
 
 
-def run(preset: str = "default", loads: tuple[float, ...] = (0.3, 0.5)
-        ) -> ExperimentResult:
+def run(preset: str = "default", loads: tuple[float, ...] = (0.3, 0.5),
+        fidelity: str = "packet") -> ExperimentResult:
     p = get_preset(preset)
     result = ExperimentResult(
         "fig13", "WebSearch FCT slowdown (P50/P95) per scheme and load")
     for load in loads:
         for label, transport, lb in SCHEMES:
-            net = run_scheme(label, transport, lb, load, p)
+            net = run_scheme(label, transport, lb, load, p,
+                             fidelity=fidelity)
             sds = net.slowdowns()
             stats = overall_percentiles(sds)
             bins = slowdown_bins(sds, scale=p.ws_scale)

@@ -24,12 +24,13 @@ SCHEMES = (
 
 
 def _run_collective(kind: str, transport: str, lb: str, preset,
-                    seed: int = 71) -> tuple[list, Network]:
+                    seed: int = 71,
+                    fidelity: str = "packet") -> tuple[list, Network]:
     net = build_network(
         transport=transport, topology="clos", num_hosts=preset.num_hosts,
         num_leaves=preset.num_leaves, num_spines=preset.num_spines,
         link_rate=preset.link_rate, lb=lb, seed=seed,
-        buffer_bytes=preset.buffer_bytes)
+        buffer_bytes=preset.buffer_bytes, fidelity=fidelity)
     results = run_grouped_collectives(
         net, kind, preset.collective_groups, preset.collective_group_size,
         preset.collective_bytes)
@@ -48,13 +49,15 @@ def ideal_jct_ns(kind: str, preset) -> float:
 
 
 def run(preset: str = "default",
-        kinds: tuple[str, ...] = ("allreduce", "alltoall")) -> ExperimentResult:
+        kinds: tuple[str, ...] = ("allreduce", "alltoall"),
+        fidelity: str = "packet") -> ExperimentResult:
     p = get_preset(preset)
     result = ExperimentResult(
         "fig14", "Collective JCT (ms) and per-flow tail FCT")
     for kind in kinds:
         for label, transport, lb in SCHEMES:
-            groups, net = _run_collective(kind, transport, lb, p)
+            groups, net = _run_collective(kind, transport, lb, p,
+                                          fidelity=fidelity)
             jcts = [g.jct_ns() for g in groups]
             fcts = [fct for g in groups for fct in g.fcts_ns()]
             result.rows.append({

@@ -91,6 +91,9 @@ REGISTRY: dict[str, ExperimentEntry] = {
                         "§6.1", "10 km long-haul goodput", True),
         ExperimentEntry("deepdive", "repro.experiments.deepdive_control_plane",
                         "§6.3", "Queue-level view of the lossless CP", True),
+        ExperimentEntry("scale", "repro.experiments.scale",
+                        "§6.2", "Wall-time/events vs hosts, packet vs "
+                        "hybrid fidelity", True),
     )
 }
 

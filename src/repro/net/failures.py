@@ -61,6 +61,9 @@ class FailureInjector:
         # and the slot time.  Chaos runs therefore stay on the serial
         # slow path by design.
         sim.burst_enabled = False
+        # Flag the scenario for the hybrid-fidelity controller: flows
+        # must not run in the analytic tier while failures are armed.
+        sim.chaos_active = True
         self.events: list[FailureEvent] = []
         #: id(link) -> number of active failures holding the link down.
         self._down_counts: dict[int, int] = {}

@@ -30,6 +30,14 @@ class Fabric:
     base_oneway_ns: Callable[[int, int], int] = None  # type: ignore[assignment]
     mtu_payload: int = 1000
     header_bytes: int = 57
+    # --- fidelity-tier metadata (set by the builders below) -------------
+    # switch egress serializations after the source NIC, per host pair
+    store_forward_hops: Callable[[int, int], int] = None  # type: ignore[assignment]
+    # coarse locality zone of a host (leaf index / testbed side); flows
+    # within one zone never share switch-to-switch links
+    zone_of: Optional[Callable[[int], int]] = None
+    # parallel switch-to-switch paths between zones (spines/cross links)
+    cross_capacity: int = 0
 
     def ideal_fct_ns(self, src: int, dst: int, size_bytes: int) -> int:
         """Lower-bound FCT: store-and-forward pipe at line rate, empty net.
@@ -99,7 +107,9 @@ def build_direct(sim: Simulator, host_a, host_b, prop_delay_ns: int = 500,
         loss_rate=loss_rate, loss_seed=loss_seed,
     )
     return Fabric(sim, hosts=[host_a, host_b], switches=[], host_rate=rate,
-                  base_oneway_ns=lambda s, d: prop_delay_ns)
+                  base_oneway_ns=lambda s, d: prop_delay_ns,
+                  store_forward_hops=lambda s, d: 0,
+                  zone_of=lambda h: 0, cross_capacity=0)
 
 
 def build_clos(sim: Simulator, hosts: Sequence, num_leaves: int, num_spines: int,
@@ -159,8 +169,17 @@ def build_clos(sim: Simulator, hosts: Sequence, num_leaves: int, num_spines: int
             return 2 * host_link_delay_ns
         return 2 * host_link_delay_ns + 2 * spine_link_delay_ns
 
+    def hops(src: int, dst: int) -> int:
+        # host->leaf->host re-serializes once; via a spine, three times.
+        if src // hosts_per_leaf == dst // hosts_per_leaf:
+            return 1
+        return 3
+
     return Fabric(sim, hosts=list(hosts), switches=leaves + spines,
-                  host_rate=rate, base_oneway_ns=oneway)
+                  host_rate=rate, base_oneway_ns=oneway,
+                  store_forward_hops=hops,
+                  zone_of=lambda h: h // hosts_per_leaf,
+                  cross_capacity=num_spines)
 
 
 def build_testbed(sim: Simulator, hosts: Sequence,
@@ -211,5 +230,11 @@ def build_testbed(sim: Simulator, hosts: Sequence,
             return 2 * host_link_delay_ns
         return 2 * host_link_delay_ns + cross_link_delay_ns
 
+    def hops(src: int, dst: int) -> int:
+        return 1 if (src < half) == (dst < half) else 2
+
     return Fabric(sim, hosts=list(hosts), switches=[sw1, sw2],
-                  host_rate=rate, base_oneway_ns=oneway)
+                  host_rate=rate, base_oneway_ns=oneway,
+                  store_forward_hops=hops,
+                  zone_of=lambda h: 0 if h < half else 1,
+                  cross_capacity=cross_links)

@@ -5,6 +5,11 @@ One file per cache key under ``~/.cache/repro`` (or ``--cache-dir`` /
 ``os.replace``) so parallel workers and concurrent CLI invocations
 never observe torn files; a corrupt or version-mismatched entry reads
 as a miss and is rewritten on the next run.
+
+The cache is optionally size-bounded (``--cache-max-mb``): when a store
+pushes the directory past the budget, the oldest entries by mtime are
+unlinked until it fits again.  Long hybrid-fidelity sweeps churn many
+large payloads, and an unbounded cache directory grows forever.
 """
 
 from __future__ import annotations
@@ -22,7 +27,9 @@ from typing import Any, Optional
 #: open flows before sampler start and attach a ``chaos`` block.
 #: v5: span-instrumented points attach ``spans`` and ``breakdown``
 #: blocks (per-flow FCT attribution) to their payloads.
-CACHE_VERSION = 5
+#: v6: NetworkSpec gained the ``fidelity`` field (hybrid-fidelity tier),
+#: which changes every spec hash.
+CACHE_VERSION = 6
 
 
 def default_cache_dir() -> Path:
@@ -38,12 +45,23 @@ class ResultCache:
     """Directory of ``<key>.json`` result envelopes, sharded one level
     deep on the key's trailing two hash characters."""
 
-    def __init__(self, root: Optional[Path] = None, enabled: bool = True) -> None:
+    def __init__(self, root: Optional[Path] = None, enabled: bool = True,
+                 max_mb: Optional[float] = None) -> None:
+        if max_mb is not None and max_mb <= 0:
+            raise ValueError("max_mb must be positive (or None: unbounded)")
         self.root = Path(root) if root is not None else default_cache_dir()
         self.enabled = enabled
+        #: Byte budget for the whole cache directory; ``None`` = no
+        #: eviction (the pre-existing behavior).
+        self.max_bytes = (None if max_mb is None
+                          else max(1, int(max_mb * 1_000_000)))
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
+        # Running size estimate, initialized lazily on the first put so
+        # bounded caches don't pay a directory walk per store.
+        self._approx_bytes: Optional[int] = None
 
     def _path(self, key: str) -> Path:
         # Shard one directory level on the trailing two hash characters
@@ -88,6 +106,57 @@ class ResultCache:
                 pass
             raise
         self.stores += 1
+        if self.max_bytes is not None:
+            if self._approx_bytes is None:
+                self._approx_bytes = self._scan_bytes()
+            else:
+                try:
+                    self._approx_bytes += path.stat().st_size
+                except OSError:
+                    pass
+            if self._approx_bytes > self.max_bytes:
+                self._evict(keep=path)
+
+    # ------------------------------------------------------------ eviction
+    def _scan_bytes(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        total = 0
+        for entry in self.root.glob("*/*.json"):
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def _evict(self, keep: Path) -> None:
+        """Unlink oldest-mtime entries until the budget holds again.
+
+        The entry just written (``keep``) is never a victim — a cache
+        smaller than one entry would otherwise evict everything it
+        stores.  Concurrent writers race benignly: unlinking is atomic,
+        a vanished victim is skipped, and the running size estimate is
+        re-anchored to a fresh directory scan here (eviction is rare
+        relative to put)."""
+        entries = []
+        for entry in self.root.glob("*/*.json"):
+            try:
+                st = entry.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime_ns, st.st_size, entry))
+        entries.sort()
+        total = sum(size for _mt, size, _p in entries)
+        for _mtime, size, entry in entries:
+            if total <= self.max_bytes or entry == keep:
+                continue
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
+        self._approx_bytes = total
 
     def __len__(self) -> int:
         if not self.root.is_dir():
@@ -104,6 +173,7 @@ class ResultCache:
         do not count toward the return value (they were never entries).
         """
         removed = 0
+        self._approx_bytes = None
         if not self.root.is_dir():
             return removed
         for path in self.root.glob("*/*.json"):
@@ -127,4 +197,4 @@ class ResultCache:
 
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores}
+                "stores": self.stores, "evictions": self.evictions}

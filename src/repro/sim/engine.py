@@ -85,6 +85,10 @@ class Simulator:
         #: observe the dataplane mid-flight, so chaos runs stay on the
         #: slow path by design.
         self.burst_enabled: bool = os.environ.get("REPRO_BURST", "1") != "0"
+        #: Set by the chaos subsystem when a failure scenario is armed;
+        #: the hybrid-fidelity controller treats it as a standing
+        #: falsifier (chaos runs are packet-level end to end).
+        self.chaos_active: bool = False
         # --- kernel binding ----------------------------------------------
         #: The event-kernel backend (``REPRO_KERNEL`` selects it; an
         #: explicit ``kernel=`` name overrides the environment).

@@ -1,0 +1,629 @@
+"""Hybrid-fidelity tier: analytic (fluid) flows with packet escalation.
+
+The packet engine simulates every byte of every flow, which caps
+experiments near 64 hosts (see DESIGN.md's fidelity-tiers section).
+Most flow-time at scale is steady state and analytically predictable:
+an uncontended flow on an idle path delivers exactly on the schedule
+the link rates and propagation delays dictate.  This module exploits
+that with two cooperating pieces:
+
+* :class:`FluidTimeline` — the closed-form delivery timeline of one
+  flow on an otherwise idle store-and-forward path.  It replicates the
+  transport's packetization (message chunking, MTU splitting, per-wire
+  header bytes) and the NIC's integer serialization arithmetic, so for
+  an uncontended flow at zero loss its FCT matches the packet engine
+  *exactly* (a hypothesis property in tests/property/test_fluid_props.py
+  holds this bar).
+
+* :class:`FidelityController` — the per-flow admission/escalation
+  authority a hybrid :class:`~repro.experiments.common.Network` defers
+  to.  Each flow launches in the fluid tier only when every falsifier
+  is quiet; otherwise (or the moment a falsifier fires mid-flight) it
+  runs on the ordinary packet path.  Falsifiers, in the order checked:
+
+  - spec-level: injected loss, a transport whose dynamics are under
+    test (tcp/mp_rdma/rifl), adaptive congestion control, zero-size
+    flows (the packet engine never completes those either);
+  - an active chaos scenario (``sim.chaos_active``);
+  - fabric queue buildup (any buffered byte in any switch);
+  - congestion signals since the last check: ECN marks, trims, drops,
+    PFC pauses, retransmissions — any of these also *escalates every
+    active fluid flow* and opens a quiet period;
+  - per-host exclusivity: the source's egress and the destination's
+    ingress must each be otherwise idle (a second flow on either side
+    escalates the incumbent and runs itself at packet level);
+  - cross-zone capacity: flows crossing leaves (clos) or sides
+    (testbed) are admitted fluid only while the zone's aggregate stays
+    under ``utilization_threshold`` of its parallel uplinks — and under
+    ECMP only while they are the *sole* cross-zone flow, since hashing
+    may stack two flows on one spine.
+
+  De-escalation is admission-side only: once ``quiet_rtts`` round-trip
+  times pass with empty queues and no new signals, *new* flows qualify
+  for the fluid tier again.  An escalated flow never returns to fluid.
+
+Accepted divergence (also stated in DESIGN.md): fluid flows produce
+exact FCTs, goodput, rx_bytes and NIC tx gauges, but their packets
+never traverse switch counters, and receiver-side ACK bandwidth is not
+modeled (ACKs are ~5 % of reverse-direction capacity at 1000 B MTU).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable, Optional
+
+__all__ = ["FluidTimeline", "FidelityController", "FidelityConfig",
+           "FLUID_TRANSPORTS", "FLUID_CCS"]
+
+#: Transports whose zero-loss, uncontended dynamics the fluid timeline
+#: reproduces exactly.  Excluded: tcp (host-stack overhead model),
+#: mp_rdma (adaptive multipath window), rifl (per-hop link shims).
+FLUID_TRANSPORTS = frozenset({"gbn", "irn", "dcp", "sdr", "timeout",
+                              "rack_tlp"})
+
+#: CC modes with a static window (the fluid model assumes the window
+#: never throttles an uncontended flow below line rate).
+FLUID_CCS = frozenset({"none", "window"})
+
+
+class FluidTimeline:
+    """Closed-form delivery schedule of one flow on an idle path.
+
+    For a store-and-forward tandem of equal-rate hops, the max-plus
+    recurrence ``finish_h(i) = max(finish_h(i-1), finish_{h-1}(i)) + s_i``
+    solves to::
+
+        delivery(i) = start + C(i) + hops * max_{k<=i} s_k + oneway
+
+    where ``C(i)`` is the cumulative NIC serialization of the first
+    ``i`` packets, ``s_k`` the serialization of packet ``k``, ``hops``
+    the number of switch egress serializations after the NIC, and
+    ``oneway`` the summed propagation delay of the path.  Packetization
+    replicates :meth:`RnicTransport.post_flow`: the flow splits into
+    messages of ``chunk_bytes``, each message into MTU-payload packets
+    plus a remainder, each packet carrying ``header_bytes`` on the wire.
+
+    Packets are grouped into runs of identical size, so every query is
+    O(#runs) — a handful even for multi-MB flows.
+    """
+
+    __slots__ = ("start_ns", "hops", "oneway_ns", "total_pkts",
+                 "_runs", "_cum_pkts", "_cum_ser", "_cum_payload",
+                 "_cum_wire", "_prefix_max_ser")
+
+    def __init__(self, size_bytes: int, mtu_payload: int, chunk_bytes: int,
+                 header_bytes: int, ser_fn: Callable[[int], int],
+                 hops: int, oneway_ns: int, start_ns: int) -> None:
+        if size_bytes <= 0:
+            raise ValueError("fluid timeline needs a positive flow size")
+        self.start_ns = start_ns
+        self.hops = hops
+        self.oneway_ns = oneway_ns
+        # (count, ser_ns, payload_bytes, wire_bytes) per run of equal pkts.
+        runs: list[tuple[int, int, int, int]] = []
+
+        def add_run(count: int, payload: int) -> None:
+            wire = payload + header_bytes
+            ser = ser_fn(wire)
+            if runs and runs[-1][1] == ser and runs[-1][2] == payload:
+                prev = runs[-1]
+                runs[-1] = (prev[0] + count, ser, payload, wire)
+            else:
+                runs.append((count, ser, payload, wire))
+
+        remaining = size_bytes
+        while remaining > 0:
+            part = min(chunk_bytes, remaining)
+            remaining -= part
+            full = (part - 1) // mtu_payload  # packets 0..n-2 of the message
+            tail = part - full * mtu_payload
+            if full:
+                add_run(full, mtu_payload)
+            add_run(1, tail)
+
+        self._runs = runs
+        self._cum_pkts = []
+        self._cum_ser = []
+        self._cum_payload = []
+        self._cum_wire = []
+        self._prefix_max_ser = []
+        pkts = ser = payload = wire = max_ser = 0
+        for count, s, p, w in runs:
+            pkts += count
+            ser += count * s
+            payload += count * p
+            wire += count * w
+            max_ser = max(max_ser, s)
+            self._cum_pkts.append(pkts)
+            self._cum_ser.append(ser)
+            self._cum_payload.append(payload)
+            self._cum_wire.append(wire)
+            self._prefix_max_ser.append(max_ser)
+        self.total_pkts = pkts
+
+    # ----------------------------------------------------------- queries
+    def _locate(self, n: int) -> int:
+        """Index of the run containing packet ``n`` (1-based count)."""
+        for i, cum in enumerate(self._cum_pkts):
+            if n <= cum:
+                return i
+        raise IndexError(f"packet {n} beyond flow of {self.total_pkts}")
+
+    def serialized_ns(self, n: int) -> int:
+        """C(n): NIC busy time to put the first ``n`` packets on the wire."""
+        if n <= 0:
+            return 0
+        i = self._locate(n)
+        base_pkts = self._cum_pkts[i - 1] if i else 0
+        base_ser = self._cum_ser[i - 1] if i else 0
+        return base_ser + (n - base_pkts) * self._runs[i][1]
+
+    def payload_upto(self, n: int) -> int:
+        if n <= 0:
+            return 0
+        i = self._locate(n)
+        base_pkts = self._cum_pkts[i - 1] if i else 0
+        base = self._cum_payload[i - 1] if i else 0
+        return base + (n - base_pkts) * self._runs[i][2]
+
+    def wire_upto(self, n: int) -> int:
+        if n <= 0:
+            return 0
+        i = self._locate(n)
+        base_pkts = self._cum_pkts[i - 1] if i else 0
+        base = self._cum_wire[i - 1] if i else 0
+        return base + (n - base_pkts) * self._runs[i][3]
+
+    def delivery_ns(self, n: int) -> int:
+        """Absolute time packet ``n`` lands in receiver memory."""
+        i = self._locate(n)
+        return (self.start_ns + self.serialized_ns(n)
+                + self.hops * self._prefix_max_ser[i] + self.oneway_ns)
+
+    def completion_ns(self) -> int:
+        return self.delivery_ns(self.total_pkts)
+
+    def fct_ns(self) -> int:
+        return self.completion_ns() - self.start_ns
+
+    def sent_count_by(self, t_ns: int) -> int:
+        """Packets fully serialized at the source NIC by time ``t_ns``."""
+        elapsed = t_ns - self.start_ns
+        if elapsed <= 0:
+            return 0
+        sent = 0
+        for i, (count, ser, _p, _w) in enumerate(self._runs):
+            base_ser = self._cum_ser[i - 1] if i else 0
+            if elapsed >= self._cum_ser[i]:
+                sent = self._cum_pkts[i]
+                continue
+            sent = (self._cum_pkts[i - 1] if i else 0) \
+                + (elapsed - base_ser) // ser
+            break
+        return min(sent, self.total_pkts)
+
+    def sample_counts(self, max_quanta: int) -> list[int]:
+        """Evenly spaced delivery checkpoints, always ending at the last
+        packet — the quanta the controller schedules instead of per-packet
+        events."""
+        total = self.total_pkts
+        quanta = max(1, min(max_quanta, total))
+        step = -(-total // quanta)
+        counts = list(range(step, total, step))
+        counts.append(total)
+        return counts
+
+    def sample_schedule(self, max_quanta: int, min_spacing_ns: int
+                        ) -> list[tuple[int, int, int, int]]:
+        """Precomputed quantum rows ``(n, delivery_ns, cum_payload,
+        cum_wire)``.
+
+        The quantum count adapts to the flow: one checkpoint per
+        ``min_spacing_ns`` of delivery time (so short flows get one or
+        two events, not ``max_quanta``), capped at ``max_quanta``.
+        """
+        duration = max(1, self.completion_ns() - self.delivery_ns(1))
+        quanta = min(max_quanta, 1 + duration // max(1, min_spacing_ns))
+        return [(n, self.delivery_ns(n), self.payload_upto(n),
+                 self.wire_upto(n))
+                for n in self.sample_counts(int(quanta))]
+
+
+class FidelityConfig:
+    """Tunables of the hybrid tier (defaults documented in DESIGN.md)."""
+
+    __slots__ = ("utilization_threshold", "quiet_rtts", "max_quanta",
+                 "max_log", "refresh_interval_ns")
+
+    def __init__(self, utilization_threshold: float = 0.85,
+                 quiet_rtts: int = 8, max_quanta: int = 32,
+                 max_log: int = 512,
+                 refresh_interval_ns: Optional[int] = None) -> None:
+        self.utilization_threshold = utilization_threshold
+        self.quiet_rtts = quiet_rtts
+        self.max_quanta = max_quanta
+        self.max_log = max_log
+        # None -> one base RTT (resolved by the controller).
+        self.refresh_interval_ns = refresh_interval_ns
+
+
+class _FluidFlow:
+    """Book-keeping for one flow currently running in the fluid tier."""
+
+    __slots__ = ("flow", "qp", "timeline", "samples", "next_sample",
+                 "delivered_pkts", "delivered_payload", "delivered_wire",
+                 "token", "state")
+
+    def __init__(self, flow, qp, timeline: FluidTimeline,
+                 samples: list[tuple[int, int, int, int]]) -> None:
+        self.flow = flow
+        self.qp = qp
+        self.timeline = timeline
+        self.samples = samples        # (n, delivery_ns, payload, wire) rows
+        self.next_sample = 0
+        self.delivered_pkts = 0
+        self.delivered_payload = 0
+        self.delivered_wire = 0
+        self.token = None
+        self.state = "fluid"          # fluid -> escalated | done
+
+
+class _Active:
+    """Resource footprint of any in-flight flow (fluid or packet)."""
+
+    __slots__ = ("src", "dst", "src_zone", "dst_zone", "mode", "fluid")
+
+    def __init__(self, src: int, dst: int, src_zone: int, dst_zone: int,
+                 mode: str, fluid: Optional[_FluidFlow]) -> None:
+        self.src = src
+        self.dst = dst
+        self.src_zone = src_zone
+        self.dst_zone = dst_zone
+        self.mode = mode              # "fluid" | "packet"
+        self.fluid = fluid
+
+
+class FidelityController:
+    """Per-flow fluid/packet arbiter for a hybrid-fidelity Network."""
+
+    def __init__(self, net, config: Optional[FidelityConfig] = None) -> None:
+        self.net = net
+        self.sim = net.sim
+        self.cfg = config or FidelityConfig()
+        spec = net.spec
+        self._static_reason: Optional[str] = None
+        if spec.loss_rate > 0:
+            self._static_reason = "injected_loss"
+        elif spec.transport not in FLUID_TRANSPORTS:
+            self._static_reason = "transport_under_test"
+        elif spec.cc not in FLUID_CCS:
+            self._static_reason = "cc_dynamics"
+        base_rtt = 2 * net._estimate_oneway_ns()
+        self.quiet_ns = self.cfg.quiet_rtts * base_rtt
+        self.refresh_ns = (self.cfg.refresh_interval_ns
+                           if self.cfg.refresh_interval_ns is not None
+                           else base_rtt)
+        # Flow packetization mirrors RnicTransport.post_flow.
+        cfgt = net.tconfig
+        self._chunk = max(cfgt.mtu_payload, cfgt.max_message_bytes)
+        self._mtu = cfgt.mtu_payload
+        from repro.net.packet import (ACK_PACKET_BYTES, DCP_DATA_HEADER_BYTES,
+                                      ROCE_DATA_HEADER_BYTES)
+        dcp_wire = getattr(net.transports[0], "dcp_wire", False) \
+            if net.transports else False
+        self._header = (DCP_DATA_HEADER_BYTES if dcp_wire
+                        else ROCE_DATA_HEADER_BYTES)
+        self._ack_bytes = ACK_PACKET_BYTES
+        # --- resource occupancy ------------------------------------------
+        self._active: dict[int, _Active] = {}      # flow_id -> footprint
+        self._src_count: dict[int, int] = {}       # host -> active egress flows
+        self._dst_count: dict[int, int] = {}       # host -> active ingress flows
+        self._src_fluid: dict[int, _FluidFlow] = {}  # host -> its fluid sender
+        self._dst_fluid: dict[int, _FluidFlow] = {}
+        self._zone_out: dict[int, int] = {}        # zone -> cross flows leaving
+        self._zone_in: dict[int, int] = {}         # zone -> cross flows entering
+        self._cross_total = 0
+        # --- congestion-signal snapshot ----------------------------------
+        self._last_refresh_ns = -1
+        self._last_signal_ns = -(1 << 62)
+        self._last_queued = 0
+        # PFC pause state only exists on fabrics that configured PFC;
+        # everywhere else the per-port scan is skipped entirely.
+        self._pfc_switches = [sw for sw in net.fabric.switches
+                              if sw.pfc is not None]
+        self._sig_snapshot = self._read_signals()
+        # --- outcome accounting ------------------------------------------
+        self.fluid_flows = 0
+        self.packet_flows = 0
+        self.escalations = 0
+        self.reasons: dict[str, int] = {}
+        self.log: list[dict] = []
+        self.log_dropped = 0
+
+    # ------------------------------------------------------------ plumbing
+    def register(self, qp, flow) -> None:
+        """Adopt a freshly opened flow; decide its tier at start time.
+
+        Flows are opened ahead of their start (Poisson workloads schedule
+        minutes of arrivals up front), so the fluid/packet decision is
+        deferred to ``start_ns`` when the falsifiers reflect the network
+        the flow actually meets.
+        """
+        user_cb = flow.on_complete
+        flow.on_complete = partial(self._completed, user_cb)
+        delay = max(0, flow.start_ns - self.sim.now)
+        self.sim.schedule(delay, partial(self._launch, qp, flow))
+
+    def _completed(self, user_cb, flow) -> None:
+        self._release(flow)
+        if user_cb is not None:
+            user_cb(flow)
+
+    # ------------------------------------------------------------ signals
+    def _read_signals(self) -> tuple[int, int, int, int]:
+        fab = self.net.fabric
+        ecn = trims = drops = 0
+        for sw in fab.switches:
+            st = sw.stats
+            ecn += st.ecn_marked
+            trims += st.trimmed
+            drops += (st.dropped_congestion + st.dropped_forced
+                      + st.dropped_buffer + st.ho_dropped)
+        retx = sum(t.stats.retx_pkts + t.stats.timeouts
+                   for t in self.net.transports)
+        return (ecn, trims, drops, retx)
+
+    def _paused_now(self) -> bool:
+        if not self._pfc_switches:
+            return False
+        for sw in self._pfc_switches:
+            for port in sw.ports:
+                if port.paused_classes:
+                    return True
+        for host in self.net.hosts:
+            if host.nic.paused:
+                return True
+        return False
+
+    def _queued_bytes(self) -> int:
+        return sum(sw.buffered_bytes for sw in self.net.fabric.switches)
+
+    def _refresh(self, force: bool = False) -> int:
+        """Re-read fabric signals; escalate all fluid flows on new ones.
+
+        Returns the fabric queue occupancy as of the latest scan.
+        Throttled to one scan per ``refresh_ns`` unless ``force``
+        (admissions force, quantum ticks ride the throttle) — and never
+        more than one scan per sim instant, so a barrage of same-tick
+        launches (collective steps) shares a single fabric sweep.
+        """
+        now = self.sim.now
+        if (now == self._last_refresh_ns
+                or (not force
+                    and now - self._last_refresh_ns < self.refresh_ns)):
+            return self._last_queued
+        self._last_refresh_ns = now
+        queued = self._queued_bytes()
+        self._last_queued = queued
+        sig = self._read_signals()
+        fired = sig != self._sig_snapshot or self._paused_now()
+        self._sig_snapshot = sig
+        if queued or fired:
+            self._last_signal_ns = now
+        if fired:
+            for ff in list(self._src_fluid.values()):
+                self.escalate(ff, "congestion_signal")
+        return queued
+
+    # ---------------------------------------------------------- admission
+    def _zone_of(self, host: int) -> int:
+        zone_of = self.net.fabric.zone_of
+        return zone_of(host) if zone_of is not None else 0
+
+    def _falsify(self, flow, queued: int) -> Optional[str]:
+        """First falsifier that disqualifies ``flow`` from the fluid tier."""
+        if self._static_reason is not None:
+            return self._static_reason
+        if flow.size_bytes <= 0:
+            return "zero_size"
+        if getattr(self.sim, "chaos_active", False):
+            return "chaos_scenario"
+        if queued:
+            return "queue_buildup"
+        if self.sim.now - self._last_signal_ns < self.quiet_ns:
+            return "quiet_period"
+        if self._src_count.get(flow.src, 0):
+            return "src_contention"
+        if self._dst_count.get(flow.dst, 0):
+            return "dst_contention"
+        src_zone = self._zone_of(flow.src)
+        dst_zone = self._zone_of(flow.dst)
+        if src_zone != dst_zone:
+            fab = self.net.fabric
+            if self.net.spec.lb == "ecmp":
+                if self._cross_total:
+                    return "ecmp_cross_path"
+            else:
+                cap = int(self.cfg.utilization_threshold
+                          * (fab.cross_capacity or 1))
+                cap = max(1, cap)
+                if (self._zone_out.get(src_zone, 0) >= cap
+                        or self._zone_in.get(dst_zone, 0) >= cap):
+                    return "zone_utilization"
+        return None
+
+    def _launch(self, qp, flow) -> None:
+        queued = self._refresh(force=True)
+        # A new flow contends with any incumbent fluid flow on either
+        # endpoint: the incumbent's idle-path assumption just broke.
+        for ff in (self._src_fluid.get(flow.src),
+                   self._dst_fluid.get(flow.dst)):
+            if ff is not None:
+                self.escalate(ff, "new_flow_contention")
+        reason = self._falsify(flow, queued)
+        if reason is None:
+            self._start_fluid(qp, flow)
+        else:
+            self._start_packet(qp, flow, reason)
+
+    def _occupy(self, flow, mode: str,
+                fluid: Optional[_FluidFlow]) -> _Active:
+        src_zone = self._zone_of(flow.src)
+        dst_zone = self._zone_of(flow.dst)
+        rec = _Active(flow.src, flow.dst, src_zone, dst_zone, mode, fluid)
+        self._active[flow.flow_id] = rec
+        self._src_count[flow.src] = self._src_count.get(flow.src, 0) + 1
+        self._dst_count[flow.dst] = self._dst_count.get(flow.dst, 0) + 1
+        if src_zone != dst_zone:
+            self._zone_out[src_zone] = self._zone_out.get(src_zone, 0) + 1
+            self._zone_in[dst_zone] = self._zone_in.get(dst_zone, 0) + 1
+            self._cross_total += 1
+        if fluid is not None:
+            self._src_fluid[flow.src] = fluid
+            self._dst_fluid[flow.dst] = fluid
+        return rec
+
+    def _release(self, flow) -> None:
+        rec = self._active.pop(flow.flow_id, None)
+        if rec is None:
+            return
+        self._src_count[rec.src] -= 1
+        self._dst_count[rec.dst] -= 1
+        if rec.src_zone != rec.dst_zone:
+            self._zone_out[rec.src_zone] -= 1
+            self._zone_in[rec.dst_zone] -= 1
+            self._cross_total -= 1
+        if rec.fluid is not None:
+            if self._src_fluid.get(rec.src) is rec.fluid:
+                del self._src_fluid[rec.src]
+            if self._dst_fluid.get(rec.dst) is rec.fluid:
+                del self._dst_fluid[rec.dst]
+            if rec.fluid.state == "fluid":
+                rec.fluid.state = "done"
+
+    def _note(self, flow, action: str, reason: str) -> None:
+        self.reasons[reason] = self.reasons.get(reason, 0) + 1
+        if len(self.log) < self.cfg.max_log:
+            self.log.append({"t_ns": self.sim.now, "flow_id": flow.flow_id,
+                             "src": flow.src, "dst": flow.dst,
+                             "size_bytes": flow.size_bytes,
+                             "action": action, "reason": reason})
+        else:
+            self.log_dropped += 1
+
+    # -------------------------------------------------------- packet path
+    def _start_packet(self, qp, flow, reason: str) -> None:
+        self.packet_flows += 1
+        self._note(flow, "packet", reason)
+        if flow.size_bytes > 0:
+            # Zero-size flows never complete (the packet engine posts no
+            # messages for them), so they must not pin host resources.
+            self._occupy(flow, "packet", None)
+        self.net.transports[flow.src].post_flow(qp, flow)
+
+    # --------------------------------------------------------- fluid path
+    def timeline_for(self, flow, start_ns: Optional[int] = None
+                     ) -> FluidTimeline:
+        """The analytic timeline this controller would give ``flow``."""
+        fab = self.net.fabric
+        nic = self.net.hosts[flow.src].nic
+        return FluidTimeline(
+            flow.size_bytes, self._mtu, self._chunk, self._header,
+            nic.ser_ns, fab.store_forward_hops(flow.src, flow.dst),
+            fab.base_oneway_ns(flow.src, flow.dst),
+            self.sim.now if start_ns is None else start_ns)
+
+    def _start_fluid(self, qp, flow) -> None:
+        timeline = self.timeline_for(flow)
+        ff = _FluidFlow(flow, qp, timeline,
+                        timeline.sample_schedule(self.cfg.max_quanta,
+                                                 self.refresh_ns))
+        self.fluid_flows += 1
+        self._occupy(flow, "fluid", ff)
+        self._note(flow, "fluid", "uncontended")
+        self._schedule_quantum(ff)
+
+    def _schedule_quantum(self, ff: _FluidFlow) -> None:
+        when = ff.samples[ff.next_sample][1]
+        ff.token = self.sim.schedule(max(0, when - self.sim.now),
+                                     partial(self._quantum, ff))
+
+    def _advance(self, ff: _FluidFlow, n: int, payload_cum: int,
+                 wire_cum: int) -> None:
+        """Deliver everything up to packet ``n`` and sync the gauges."""
+        delta = n - ff.delivered_pkts
+        if delta <= 0:
+            return
+        flow = ff.flow
+        payload = payload_cum - ff.delivered_payload
+        nic = self.net.hosts[flow.src].nic
+        nic.tx_packets += delta
+        nic.tx_bytes += wire_cum - ff.delivered_wire
+        flow.stats.data_pkts_sent += delta
+        flow.stats.acks_received += delta
+        ff.delivered_pkts = n
+        ff.delivered_payload = payload_cum
+        ff.delivered_wire = wire_cum
+        tl = ff.timeline
+        if n == tl.total_pkts:
+            flow.tx_complete_ns = tl.start_ns + tl.serialized_ns(n)
+        flow.deliver(payload, self.sim.now)
+
+    def _quantum(self, ff: _FluidFlow) -> None:
+        if ff.state != "fluid":
+            return
+        n, _when, payload_cum, wire_cum = ff.samples[ff.next_sample]
+        ff.next_sample += 1
+        self._advance(ff, n, payload_cum, wire_cum)
+        if ff.state == "fluid" and ff.next_sample < len(ff.samples):
+            self._schedule_quantum(ff)
+        self._refresh()
+
+    def escalate(self, ff: _FluidFlow, reason: str) -> None:
+        """Drop a fluid flow to the packet path, mid-flight.
+
+        Packets already serialized by the source NIC are credited as
+        delivered (they are at most one path latency from the receiver);
+        the remaining bytes are posted to the flow's QP as ordinary
+        messages, and the packet engine carries the flow home.
+        """
+        if ff.state != "fluid":
+            return
+        ff.state = "escalated"
+        if ff.token is not None:
+            ff.token.cancel()
+        self.escalations += 1
+        flow = ff.flow
+        self._note(flow, "escalate", reason)
+        tl = ff.timeline
+        sent = max(tl.sent_count_by(self.sim.now), ff.delivered_pkts)
+        self._advance(ff, sent, tl.payload_upto(sent), tl.wire_upto(sent))
+        rec = self._active.get(flow.flow_id)
+        if rec is not None:
+            rec.mode = "packet"
+            rec.fluid = None
+        if self._src_fluid.get(flow.src) is ff:
+            del self._src_fluid[flow.src]
+        if self._dst_fluid.get(flow.dst) is ff:
+            del self._dst_fluid[flow.dst]
+        if flow.completed:
+            return
+        remaining = flow.size_bytes - ff.timeline.payload_upto(sent)
+        transport = self.net.transports[flow.src]
+        while remaining > 0:
+            part = min(self._chunk, remaining)
+            transport.post_message(ff.qp, flow, part)
+            remaining -= part
+
+    # ------------------------------------------------------------ reporting
+    def summary(self) -> dict:
+        """JSON-safe decision summary (rides in experiment payloads)."""
+        return {
+            "fluid_flows": self.fluid_flows,
+            "packet_flows": self.packet_flows,
+            "escalations": self.escalations,
+            "reasons": dict(sorted(self.reasons.items())),
+            "log": list(self.log),
+            "log_dropped": self.log_dropped,
+        }

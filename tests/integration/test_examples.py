@@ -53,6 +53,13 @@ def test_failure_timeline(capsys):
     assert "coarse" in out
 
 
+def test_scale_demo(capsys):
+    out = _run_example("scale_demo", capsys)
+    assert "256 hosts" in out
+    assert "flows ran fluid" in out
+    assert "no escalations" in out
+
+
 def test_trace_demo(capsys, tmp_path):
     path = EXAMPLES / "trace_demo.py"
     spec = importlib.util.spec_from_file_location("example_trace_demo", path)

@@ -10,7 +10,7 @@ def test_registry_covers_every_paper_result():
     expected = {"table1", "table2", "table3", "table4", "table5",
                 "fig1", "fig2", "fig7", "fig8", "fig10", "fig11", "fig12",
                 "fig13", "fig14", "fig15", "fig16", "fig17", "robustness",
-                "longhaul", "deepdive"}
+                "longhaul", "deepdive", "scale"}
     assert set(REGISTRY) == expected
 
 

@@ -1,0 +1,85 @@
+"""Property tests for the hybrid fidelity tier (repro.sim.fidelity).
+
+The tier's whole premise: for an *uncontended* flow at zero loss, the
+closed-form fluid schedule reproduces the packet-level simulation
+**exactly** — same FCT, same delivered bytes, no tolerance.  Hypothesis
+sweeps the whitelisted transports, flow sizes (sub-MTU through
+multi-chunk), link rates and topologies; any drift is a bug in the
+timeline model, not noise.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.common import build_network
+from repro.sim.fidelity import FLUID_TRANSPORTS
+
+_slow = settings(max_examples=30, deadline=None)
+
+
+def _fct_pair(transport, topology, size, rate, seed, dst=1, **kw):
+    """(packet FCT, hybrid FCT, hybrid summary) for one lone flow."""
+    fcts = []
+    summaries = []
+    for fidelity in ("packet", "hybrid"):
+        net = build_network(transport=transport, topology=topology,
+                            link_rate=rate, seed=seed, fidelity=fidelity,
+                            **kw)
+        flow = net.open_flow(0, dst, size, 0)
+        net.run_until_flows_done(max_events=50_000_000)
+        assert flow.completed
+        assert flow.rx_bytes == size
+        fcts.append(flow.fct_ns())
+        summaries.append(net.fidelity.summary() if net.fidelity else None)
+    return fcts[0], fcts[1], summaries[1]
+
+
+@_slow
+@given(transport=st.sampled_from(sorted(FLUID_TRANSPORTS)),
+       size=st.one_of(st.integers(1, 4096),          # sub-MTU and tiny
+                      st.integers(4_097, 600_000)),  # multi-packet/chunk
+       rate=st.sampled_from([10.0, 25.0, 100.0]),
+       seed=st.integers(0, 20))
+def test_uncontended_fluid_fct_exact_direct(transport, size, rate, seed):
+    packet, hybrid, summary = _fct_pair(
+        transport, "direct", size, rate, seed, num_hosts=2)
+    assert summary["fluid_flows"] == 1
+    assert summary["escalations"] == 0
+    assert hybrid == packet, (
+        f"fluid FCT {hybrid} != packet FCT {packet} "
+        f"({transport}, {size}B, {rate}G)")
+
+
+@_slow
+@given(transport=st.sampled_from(sorted(FLUID_TRANSPORTS)),
+       size=st.integers(1, 300_000),
+       dst=st.sampled_from([1, 5]),   # same-leaf and cross-leaf
+       seed=st.integers(0, 20))
+def test_uncontended_fluid_fct_exact_clos(transport, size, dst, seed):
+    packet, hybrid, summary = _fct_pair(
+        transport, "clos", size, 10.0, seed,
+        num_hosts=8, num_leaves=2, num_spines=2, lb="ar", dst=dst)
+    assert summary["fluid_flows"] == 1
+    assert hybrid == packet
+
+
+@_slow
+@given(size=st.integers(1, 200_000), seed=st.integers(0, 10))
+def test_ineligible_spec_runs_pure_packet(size, seed):
+    """A falsifying spec (injected loss) must bypass the fluid tier and
+    reproduce the plain packet run bit-for-bit."""
+    fcts = []
+    for fidelity in ("packet", "hybrid"):
+        net = build_network(transport="dcp", topology="direct", num_hosts=2,
+                            link_rate=10.0, loss_rate=0.02, lb="ar",
+                            seed=seed, fidelity=fidelity)
+        flow = net.open_flow(0, 1, size, 0)
+        net.run_until_flows_done(max_events=50_000_000)
+        assert flow.completed
+        fcts.append((flow.fct_ns(), flow.stats.data_pkts_sent,
+                     flow.stats.retx_pkts_sent, net.sim.events_processed))
+        if net.fidelity is not None:
+            s = net.fidelity.summary()
+            assert s["fluid_flows"] == 0
+            assert s["reasons"].get("injected_loss") == 1
+    assert fcts[0] == fcts[1]

@@ -9,6 +9,7 @@ bit-identical).
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -89,7 +90,8 @@ class TestResultCache:
         assert cache.get("k" * 64) is None
         cache.put("k" * 64, {"rows": [1, 2, 3]})
         assert cache.get("k" * 64) == {"rows": [1, 2, 3]}
-        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1,
+                                 "evictions": 0}
         assert len(cache) == 1
 
     def test_corrupt_entry_reads_as_miss(self, tmp_path):
@@ -143,6 +145,74 @@ class TestResultCache:
         (cache._path("cafef00d").parent / "x.tmp").write_text("")
         cache.clear()
         assert cache.clear() == 0
+
+
+class TestCacheEviction:
+    """Size-bounded mode (``--cache-max-mb``): oldest-mtime-first."""
+
+    # ~120 B per entry after the envelope; 0.0004 MB = 400 B budget
+    # holds about three of them.
+    PAYLOAD = {"blob": "x" * 64}
+
+    def _bounded(self, tmp_path, max_mb=0.0004):
+        return ResultCache(root=tmp_path, max_mb=max_mb)
+
+    def test_rejects_nonpositive_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(root=tmp_path, max_mb=0)
+        with pytest.raises(ValueError):
+            ResultCache(root=tmp_path, max_mb=-1.5)
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        for i in range(50):
+            cache.put(f"key{i:02d}", self.PAYLOAD)
+        assert len(cache) == 50
+        assert cache.evictions == 0
+
+    def test_evicts_oldest_entries_first(self, tmp_path):
+        cache = self._bounded(tmp_path)
+        for i in range(10):
+            cache.put(f"key{i:02d}", self.PAYLOAD)
+            # Distinct mtimes make the eviction order deterministic.
+            path = cache._path(f"key{i:02d}")
+            ns = path.stat().st_mtime_ns
+            os.utime(path, ns=(ns + i * 1_000_000, ns + i * 1_000_000))
+        assert cache.evictions > 0
+        assert 0 < len(cache) < 10
+        # Survivors are a suffix of the insertion order: newest kept.
+        alive = sorted(p.stem for p in tmp_path.glob("*/*.json"))
+        assert alive == [f"key{i:02d}" for i in
+                         range(10 - len(alive), 10)]
+
+    def test_freshly_written_entry_is_never_the_victim(self, tmp_path):
+        # Budget smaller than a single entry: the new entry survives
+        # anyway (a cache that evicts what it just stored is useless).
+        cache = ResultCache(root=tmp_path, max_mb=0.00001)
+        cache.put("first000", self.PAYLOAD)
+        cache.put("second00", self.PAYLOAD)
+        assert cache.get("second00") == self.PAYLOAD
+        assert cache.get("first000") is None
+
+    def test_evicted_entry_reads_as_miss_and_restores(self, tmp_path):
+        cache = self._bounded(tmp_path)
+        for i in range(10):
+            cache.put(f"key{i:02d}", self.PAYLOAD)
+        victim = next(f"key{i:02d}" for i in range(10)
+                      if cache.get(f"key{i:02d}") is None)
+        cache.put(victim, self.PAYLOAD)       # re-store after the miss
+        assert cache.get(victim) == self.PAYLOAD
+
+    def test_size_estimate_survives_clear(self, tmp_path):
+        cache = self._bounded(tmp_path)
+        for i in range(10):
+            cache.put(f"key{i:02d}", self.PAYLOAD)
+        cache.clear()
+        for i in range(10):
+            cache.put(f"new{i:03d}", self.PAYLOAD)
+        # Post-clear stores still respect the budget (the stale running
+        # estimate was dropped with the entries).
+        assert 0 < len(cache) < 10
 
 
 # --------------------------------------------------------------- runner
